@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Ablation of the paper.
+
+PIM-aware tile placement (Fig. 5 address mapping) vs a row-conflicting
+layout.
+
+Run with ``pytest benchmarks/bench_ablation_address_mapping.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_address_mapping_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-address-mapping",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

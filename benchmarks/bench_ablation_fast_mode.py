@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Ablation of the paper.
+
+Accuracy of the sampled-KV fast generation mode against exact per-token
+simulation.
+
+Run with ``pytest benchmarks/bench_ablation_fast_mode.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_fast_mode_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-fast-mode",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

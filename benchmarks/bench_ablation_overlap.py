@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Ablation of the paper.
+
+Overlap-aware (PAS) scheduling vs naive scheduling on identical command
+streams - isolates the scheduling contribution.
+
+Run with ``pytest benchmarks/bench_ablation_overlap.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_overlap_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-overlap",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Sec. 7.2 of the paper.
+
+Cost analysis: performance per watt of TDP vs a single A100
+(paper: 3.9x / 2.7x / 2.1x for 6.7B / 13B / 30B).
+
+Run with ``pytest benchmarks/bench_cost.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_cost_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("cost",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

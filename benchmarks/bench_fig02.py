@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 2 of the paper.
+
+A100 latency and FLOPs breakdown of the GPT-2 XL generation-stage decoder,
+including the computing vs non-computing split of self-attention.
+
+Run with ``pytest benchmarks/bench_fig02.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig02_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig02",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

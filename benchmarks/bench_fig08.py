@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 8 of the paper.
+
+End-to-end GPT-2 inference latency on the A100 GPU and IANUS across the
+12 (input, output) configurations and 4 model sizes; reports the per-model and
+overall average speedups (paper: 6.2x overall).
+
+Run with ``pytest benchmarks/bench_fig08.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig08_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig08",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 9 of the paper.
+
+GPT-2 XL latency on DFX, NPU-MEM and IANUS over the DFX paper's workload
+sweep (paper: 3.2x average speedup over DFX, 49.3x for (128,1)).
+
+Run with ``pytest benchmarks/bench_fig09.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig09_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig09",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

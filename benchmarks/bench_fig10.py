@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 10 of the paper.
+
+Generation-stage latency breakdown of GPT-2 L and XL for NPU-MEM and IANUS
+(paper: 4.0x / 3.6x overall generation-stage speedups).
+
+Run with ``pytest benchmarks/bench_fig10.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig10_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 11 of the paper.
+
+Dynamic energy of NPU-MEM and IANUS normalised to IANUS/GPT-2 M
+(paper: 3.7-4.4x energy-efficiency gains).
+
+Run with ``pytest benchmarks/bench_fig11.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig11_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig11",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

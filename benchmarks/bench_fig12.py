@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 12 of the paper.
+
+Adaptive FC mapping (Algorithm 1) against always-MU and always-PIM static
+mappings for 4/8/16 input tokens (paper: 1.4x / 1.2x average gains).
+
+Run with ``pytest benchmarks/bench_fig12.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig12_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig12",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

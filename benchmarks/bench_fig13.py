@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 13 of the paper.
+
+Unified vs partitioned memory organisations, QK^T/SV mapping and scheduling
+ablation - six configurations per GPT-2 model (paper: IANUS reaches 1.9-4.3x).
+
+Run with ``pytest benchmarks/bench_fig13.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig13_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig13",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 14 of the paper.
+
+BERT throughput and compute utilisation on the A100 and IANUS
+(paper: 3.1x/2.0x throughput for BERT-B/L, 5.2x-1.0x utilisation ratios).
+
+Run with ``pytest benchmarks/bench_fig14.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig14_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig14",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 15 of the paper.
+
+Sensitivity to the number of NPU cores and PIM chips for summarization-only
+and generation-dominant workloads on GPT-2 L.
+
+Run with ``pytest benchmarks/bench_fig15.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig15_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig15",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 17 of the paper.
+
+Larger LLMs (GPT 6.7B/13B/30B) on 2/4/8 IANUS devices vs a single A100
+(paper: 2.4x / 3.4x / 5.3x average speedups).
+
+Run with ``pytest benchmarks/bench_fig17.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig17_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig17",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 18 of the paper.
+
+Strong scaling of GPT 6.7B across 2/4/8 IANUS devices
+(paper: 127.1 / 211.6 / 317.6 tokens per second).
+
+Run with ``pytest benchmarks/bench_fig18.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig18_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig18",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

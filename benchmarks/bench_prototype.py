@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Sec. 6.3 of the paper.
+
+Functional validation of the IANUS dataflow against an FP32 reference
+(stand-in for the FPGA-prototype perplexity check).
+
+Run with ``pytest benchmarks/bench_prototype.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_prototype_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("prototype",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 of the paper.
+
+IANUS simulation parameters regenerated from the configuration objects.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table1_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("table1",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 of the paper.
+
+A100 / DFX / IANUS system specifications.
+
+Run with ``pytest benchmarks/bench_table2.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table2_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("table2",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

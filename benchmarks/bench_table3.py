@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 3 of the paper.
+
+BERT and GPT-2 network configurations and parameter counts.
+
+Run with ``pytest benchmarks/bench_table3.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table3_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("table3",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

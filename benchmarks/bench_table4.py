@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 4 of the paper.
+
+Larger LLM configurations used by the scalability analysis.
+
+Run with ``pytest benchmarks/bench_table4.py --benchmark-only -s`` to also print the
+regenerated rows next to the paper's published claims.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table4_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("table4",), kwargs={"fast": True}, rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper via
+``repro.experiments.registry`` and times the regeneration with
+pytest-benchmark.  Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to print every regenerated table next to the paper's claims.
+"""

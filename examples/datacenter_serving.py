@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Datacenter serving scenario: latency across realistic request mixes.
+
+The paper motivates IANUS with datacenter NLP serving: non-batched requests
+whose input/output token counts span the typical ranges of summarisation,
+chat-style completion and long-form generation (Sec. 6.1).  This example
+sweeps such a request mix over every GPT-2 model on IANUS, NPU-MEM, DFX and
+the A100, and reports per-request latency, tokens/second and energy per
+request — the numbers an operator would use for capacity planning.
+
+Run with::
+
+    python examples/datacenter_serving.py
+"""
+
+from __future__ import annotations
+
+from repro import GPT2_CONFIGS, IanusSystem, SystemConfig, Workload
+from repro.analysis import format_table
+from repro.baselines import A100Gpu, DfxAppliance, NpuMemSystem
+
+#: Request classes a datacenter NLP service typically sees.
+REQUEST_MIX = {
+    "classification (512 in, 1 out)": Workload(512, 1),
+    "short completion (128 in, 8 out)": Workload(128, 8),
+    "chat turn (256 in, 64 out)": Workload(256, 64),
+    "long generation (128 in, 512 out)": Workload(128, 512),
+}
+
+
+def main() -> None:
+    backends = {
+        "IANUS": IanusSystem(SystemConfig.ianus()),
+        "NPU-MEM": NpuMemSystem(),
+        "A100": A100Gpu(),
+        "DFX": DfxAppliance(),
+    }
+
+    for model_key in ("m", "xl"):
+        model = GPT2_CONFIGS[model_key]
+        rows = []
+        for request_name, workload in REQUEST_MIX.items():
+            for backend_name, backend in backends.items():
+                if backend_name == "DFX" and model.param_bytes > 32 * 2**30:
+                    continue
+                result = backend.run(model, workload)
+                rows.append(
+                    [
+                        request_name,
+                        backend_name,
+                        round(result.total_latency_ms, 1),
+                        round(result.tokens_per_second, 1),
+                        round(result.energy.total_mj, 1),
+                    ]
+                )
+        print(
+            format_table(
+                ["request class", "backend", "latency ms", "tokens/s", "energy mJ"],
+                rows,
+                title=f"=== {model.describe()} ===",
+            )
+        )
+        print()
+
+    # Aggregate view: time to serve the whole mix once per backend.
+    print("Time to serve one request of each class (GPT-2 XL):")
+    model = GPT2_CONFIGS["xl"]
+    for backend_name, backend in backends.items():
+        total_ms = sum(
+            backend.run(model, workload).total_latency_ms
+            for workload in REQUEST_MIX.values()
+        )
+        print(f"  {backend_name:<8} {total_ms:>10.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the IANUS simulator.
+
+An architect evaluating an NPU-PIM system wants to know how sensitive the
+design is to its major knobs before committing to silicon.  This example
+sweeps:
+
+* the number of NPU cores and PIM chips (the Fig. 15 sensitivity study),
+* the memory organisation (unified vs partitioned) and the scheduling policy
+  (PAS vs naive) — the Fig. 13 ablation,
+* the FC mapping policy (always-MU / always-PIM / Algorithm 1) across prompt
+  lengths — the Fig. 12 trade-off,
+
+and prints the resulting latencies so the trade-offs are visible side by side.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import GPT2_CONFIGS, IanusSystem, SystemConfig, Workload
+from repro.analysis import format_table
+from repro.config import (
+    AttentionMappingPolicy,
+    FcMappingPolicy,
+    SchedulingPolicy,
+)
+
+MODEL = GPT2_CONFIGS["xl"]
+GENERATION_WORKLOAD = Workload(256, 256)
+SUMMARIZATION_WORKLOAD = Workload(256, 1)
+
+
+def sweep_compute_resources() -> None:
+    rows = []
+    for cores in (1, 2, 4):
+        for chips in (1, 2, 4):
+            config = SystemConfig.ianus(
+                num_cores=cores, pim_compute_chips=chips,
+                name=f"{cores}c-{chips}p",
+            )
+            system = IanusSystem(config)
+            rows.append(
+                [
+                    cores,
+                    chips,
+                    round(system.run(MODEL, SUMMARIZATION_WORKLOAD).total_latency_ms, 1),
+                    round(system.run(MODEL, GENERATION_WORKLOAD).total_latency_ms, 1),
+                ]
+            )
+    print(
+        format_table(
+            ["NPU cores", "PIM chips", "summarization-only ms", "generation-heavy ms"],
+            rows,
+            title="Compute-resource sweep (GPT-2 XL)",
+        )
+    )
+    print()
+
+
+def sweep_memory_and_scheduling() -> None:
+    configurations = {
+        "unified + PAS (IANUS)": SystemConfig.ianus(),
+        "unified + naive": SystemConfig.ianus(scheduling=SchedulingPolicy.NAIVE),
+        "unified + QKT/SV on PIM": SystemConfig.ianus(
+            attention_mapping=AttentionMappingPolicy.PIM
+        ),
+        "partitioned + PAS": SystemConfig.partitioned(),
+        "partitioned + naive": SystemConfig.partitioned(
+            scheduling=SchedulingPolicy.NAIVE
+        ),
+    }
+    rows = []
+    baseline_ms = None
+    for label, config in configurations.items():
+        latency_ms = IanusSystem(config).run(MODEL, GENERATION_WORKLOAD).total_latency_ms
+        if baseline_ms is None:
+            baseline_ms = latency_ms
+        rows.append([label, round(latency_ms, 1), round(baseline_ms / latency_ms, 2)])
+    print(
+        format_table(
+            ["configuration", "latency ms", "speedup vs IANUS"],
+            rows,
+            title="Memory organisation and scheduling sweep (GPT-2 XL, (256,256))",
+        )
+    )
+    print()
+
+
+def sweep_fc_mapping() -> None:
+    rows = []
+    for tokens in (1, 4, 16, 64, 256):
+        workload = Workload(tokens, 1)
+        row = [tokens]
+        for label, policy in (
+            ("always MU", FcMappingPolicy.MATRIX_UNIT),
+            ("always PIM", FcMappingPolicy.PIM),
+            ("Algorithm 1", FcMappingPolicy.ADAPTIVE),
+        ):
+            config = SystemConfig.ianus(fc_mapping=policy, name=f"ianus-{label}")
+            latency = IanusSystem(config).run(MODEL, workload).total_latency_ms
+            row.append(round(latency, 2))
+        rows.append(row)
+    print(
+        format_table(
+            ["prompt tokens", "always MU ms", "always PIM ms", "Algorithm 1 ms"],
+            rows,
+            title="FC mapping policy vs prompt length (GPT-2 XL, summarization pass)",
+        )
+    )
+
+
+def main() -> None:
+    sweep_compute_resources()
+    sweep_memory_and_scheduling()
+    sweep_fc_mapping()
+
+
+if __name__ == "__main__":
+    main()

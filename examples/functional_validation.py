@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Functional validation of the IANUS dataflow (the FPGA-prototype stand-in).
+
+The paper's prototype (Sec. 6.3) runs pretrained GPT-2 checkpoints on real
+GDDR6-AiM silicon and checks WikiText-2 perplexity.  Offline, this example
+demonstrates the same property on a synthetic model: executing a GPT through
+the IANUS operator mapping — bank-level tiled PIM GEMV for the generation
+stage, matrix-unit tiles for the summarization stage, GELU via lookup table,
+BF16 everywhere — produces the same tokens and (pseudo-)perplexity as a plain
+FP32 forward pass.
+
+Run with::
+
+    python examples/functional_validation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functional import (
+    IanusFunctionalBackend,
+    PimFunctionalDevice,
+    ReferenceTransformer,
+    TransformerWeights,
+    compare_backends,
+)
+from repro.models import tiny_gpt
+
+
+def gemv_demo() -> None:
+    """Show the PIM bank-level GEMV matching a NumPy matmul."""
+    print("1. Bank-level PIM GEMV vs NumPy")
+    rng = np.random.default_rng(0)
+    weights = (rng.standard_normal((96, 1500)) * 0.05).astype(np.float32)
+    x = rng.standard_normal(1500).astype(np.float32)
+
+    device = PimFunctionalDevice()
+    device.store_weight("demo", weights)
+    pim_result = device.gemv("demo", x)
+    reference = weights @ x
+    error = np.max(np.abs(pim_result - reference)) / np.max(np.abs(reference))
+    print(f"   weight matrix 96x1500 stored across "
+          f"{device.stored_bytes('demo') // 2048} DRAM rows")
+    print(f"   max relative deviation from FP32 NumPy: {error:.4%} (BF16 effects only)")
+    print()
+
+
+def end_to_end_demo() -> None:
+    """Generate tokens with both backends and compare."""
+    print("2. End-to-end generation: IANUS dataflow vs FP32 reference")
+    model = tiny_gpt(embedding_dim=96, head_dim=24, num_heads=4, num_blocks=3,
+                     name="gpt-demo")
+    weights = TransformerWeights.random(model, seed=7)
+    rng = np.random.default_rng(7)
+    prompt = rng.integers(0, model.vocab_size, size=10)
+
+    reference_tokens = ReferenceTransformer(model, weights=weights).generate(prompt, 8)
+    ianus_tokens = IanusFunctionalBackend(model, weights=weights).generate(prompt, 8)
+    print(f"   prompt            : {prompt.tolist()}")
+    print(f"   reference output  : {reference_tokens.tolist()}")
+    print(f"   IANUS output      : {ianus_tokens.tolist()}")
+    print(f"   identical         : {bool(np.array_equal(reference_tokens, ianus_tokens))}")
+    print()
+
+
+def perplexity_demo() -> None:
+    """The prototype-style perplexity comparison."""
+    print("3. Pseudo-perplexity comparison (prototype-style validation)")
+    for label, model in (
+        ("tiny 2x64", tiny_gpt()),
+        ("tiny 2x96", tiny_gpt(embedding_dim=96, head_dim=24, num_heads=4, num_blocks=2,
+                               name="gpt-tiny-96")),
+    ):
+        comparison = compare_backends(model, prompt_length=10, generated_tokens=5)
+        print(f"   {label:<10} reference ppl={comparison.reference_perplexity:8.2f}  "
+              f"IANUS ppl={comparison.ianus_perplexity:8.2f}  "
+              f"gap={comparison.perplexity_gap / comparison.reference_perplexity:.3%}")
+    print()
+    print("The paper's prototype reports 30.92 / 22.60 / 19.39 / 17.48 perplexity for")
+    print("GPT-2 Base/M/L/XL on WikiText-2 - i.e. the PIM dataflow matches the full-")
+    print("precision model; the synthetic comparison above demonstrates the same")
+    print("numerical-equivalence property without the pretrained checkpoints.")
+
+
+def main() -> None:
+    gemv_demo()
+    end_to_end_demo()
+    perplexity_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate end-to-end GPT-2 inference on IANUS and its baselines.
+
+This is the smallest useful program against the public API: build the IANUS
+system of Table 1, run one inference request (128 input tokens, 64 generated
+tokens) for GPT-2 XL, and compare against the NPU-MEM baseline (same NPU,
+plain GDDR6) and the A100 GPU model.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GPT2_CONFIGS, IanusSystem, SystemConfig, Workload
+from repro.baselines import A100Gpu, NpuMemSystem
+
+
+def main() -> None:
+    model = GPT2_CONFIGS["xl"]
+    workload = Workload(input_tokens=128, output_tokens=64)
+
+    print(f"Model     : {model.describe()}")
+    print(f"Workload  : {workload.label()} "
+          f"({workload.input_tokens} prompt tokens, {workload.output_tokens} generated)")
+    print()
+
+    backends = {
+        "IANUS": IanusSystem(SystemConfig.ianus()),
+        "NPU-MEM": NpuMemSystem(),
+        "A100 GPU": A100Gpu(),
+    }
+
+    results = {name: backend.run(model, workload) for name, backend in backends.items()}
+
+    print(f"{'backend':<10} {'total ms':>10} {'summ ms':>10} {'gen ms':>10} "
+          f"{'ms/token':>10} {'energy mJ':>10}")
+    for name, result in results.items():
+        print(
+            f"{name:<10} {result.total_latency_ms:>10.1f} "
+            f"{result.summarization.latency_ms:>10.1f} "
+            f"{result.generation.latency_ms:>10.1f} "
+            f"{result.generation.latency_per_token_ms:>10.2f} "
+            f"{result.energy.total_mj:>10.1f}"
+        )
+
+    ianus = results["IANUS"]
+    print()
+    print(f"IANUS speedup over the A100 GPU : {ianus.speedup_over(results['A100 GPU']):.1f}x")
+    print(f"IANUS speedup over NPU-MEM      : {ianus.speedup_over(results['NPU-MEM']):.1f}x")
+    print()
+    print("Where the IANUS generation stage spends its time (Fig. 10 categories):")
+    for tag, milliseconds in sorted(
+        ianus.generation_breakdown_ms().items(), key=lambda item: -item[1]
+    ):
+        print(f"  {tag:<26} {milliseconds:>9.1f} ms")
+    print()
+    print("FC mapping chosen by Algorithm 1 for a generation-stage block:")
+    from repro.models import Stage, StagePass
+
+    mapping = backends["IANUS"].fc_mapping_for(
+        model, StagePass(Stage.GENERATION, 1, workload.total_tokens)
+    )
+    for layer, unit in mapping.items():
+        print(f"  {layer:<12} -> {unit}")
+
+
+if __name__ == "__main__":
+    main()

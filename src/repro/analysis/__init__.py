@@ -1,0 +1,45 @@
+"""Analysis helpers: breakdowns, speedups, rooflines, traces, formatting."""
+
+from repro.analysis.breakdown import (
+    BREAKDOWN_CATEGORIES,
+    breakdown_fractions,
+    normalize_breakdown,
+    ordered_breakdown,
+)
+from repro.analysis.report import (
+    arithmetic_mean,
+    format_series,
+    format_table,
+    geometric_mean,
+    speedup,
+    total_latency_ratio,
+)
+from repro.analysis.roofline import (
+    OperatorIntensity,
+    Platform,
+    block_operator_intensities,
+    bound_fraction,
+    classify_operator,
+)
+from repro.analysis.trace import overlap_matrix, render_gantt, timeline_to_records
+
+__all__ = [
+    "BREAKDOWN_CATEGORIES",
+    "breakdown_fractions",
+    "normalize_breakdown",
+    "ordered_breakdown",
+    "arithmetic_mean",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "speedup",
+    "total_latency_ratio",
+    "OperatorIntensity",
+    "Platform",
+    "block_operator_intensities",
+    "bound_fraction",
+    "classify_operator",
+    "overlap_matrix",
+    "render_gantt",
+    "timeline_to_records",
+]

@@ -1,0 +1,184 @@
+"""Roofline analysis of transformer operators on IANUS and its baselines.
+
+The motivation section of the paper (Sec. 3.1) is a roofline argument: the
+summarization stage's matrix-matrix products are compute bound, the
+generation stage's matrix-vector products are memory bound, and vector
+operations are so memory bound that their FLOP count is irrelevant.  This
+module makes that argument quantitative and reusable: it computes the
+arithmetic intensity of every operator of a block, the ridge points of the
+IANUS NPU (against external and internal PIM bandwidth), the A100 and DFX,
+and classifies each operator as compute- or memory-bound on each platform.
+
+The Fig. 2/Fig. 12 experiments and the design-space example use these
+helpers; they are also handy on their own when exploring new models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BYTES_PER_ELEMENT, DfxConfig, GpuConfig, SystemConfig
+from repro.models.flops import (
+    attention_context_flops,
+    attention_score_flops,
+    fc_flops,
+    layernorm_flops,
+    softmax_flops,
+)
+from repro.models.transformer import ModelConfig
+from repro.models.workload import Stage, StagePass
+
+__all__ = [
+    "OperatorIntensity",
+    "Platform",
+    "block_operator_intensities",
+    "ridge_point",
+    "classify_operator",
+    "bound_fraction",
+]
+
+
+@dataclass(frozen=True)
+class OperatorIntensity:
+    """Arithmetic intensity of one operator instance."""
+
+    name: str
+    flops: float
+    bytes_moved: int
+
+    @property
+    def intensity(self) -> float:
+        """FLOPs per byte moved to/from main memory."""
+        if self.bytes_moved <= 0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Peak compute and memory bandwidth of one execution platform."""
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity at which compute and memory time are equal."""
+        return self.peak_flops / self.memory_bandwidth
+
+    @classmethod
+    def ianus_npu(cls, config: SystemConfig | None = None) -> "Platform":
+        config = config or SystemConfig.ianus()
+        return cls("ianus-npu", config.peak_npu_flops, config.offchip_bandwidth)
+
+    @classmethod
+    def ianus_pim(cls, config: SystemConfig | None = None) -> "Platform":
+        config = config or SystemConfig.ianus()
+        return cls("ianus-pim", config.peak_pim_flops, config.pim.internal_bandwidth)
+
+    @classmethod
+    def a100(cls, config: GpuConfig | None = None) -> "Platform":
+        config = config or GpuConfig()
+        return cls("a100", config.peak_flops, config.memory_bandwidth)
+
+    @classmethod
+    def dfx(cls, config: DfxConfig | None = None) -> "Platform":
+        config = config or DfxConfig()
+        return cls("dfx", config.peak_flops, config.memory_bandwidth)
+
+
+def block_operator_intensities(
+    model: ModelConfig, stage_pass: StagePass
+) -> list[OperatorIntensity]:
+    """Arithmetic intensities of every operator of one block for one pass.
+
+    Bytes counted are the main-memory bytes each operator must move when its
+    operands are not already resident on chip: weights for FC layers, the
+    cached keys/values for attention, activations for vector operators.
+    """
+    n = stage_pass.num_tokens
+    kv = stage_pass.kv_length
+    d = model.embedding_dim
+    d_ff = model.ffn_dim
+    h = model.num_heads
+    hd = model.head_dim
+    act = lambda tokens, dim: tokens * dim * BYTES_PER_ELEMENT  # noqa: E731
+
+    return [
+        OperatorIntensity(
+            "qkv_projection",
+            fc_flops(n, d, 3 * d),
+            3 * d * d * BYTES_PER_ELEMENT + act(n, d) + act(n, 3 * d),
+        ),
+        OperatorIntensity(
+            "attention_scores",
+            h * attention_score_flops(n, kv, hd),
+            act(kv, d) + act(n, d) + n * kv * h * BYTES_PER_ELEMENT,
+        ),
+        OperatorIntensity(
+            "softmax",
+            h * softmax_flops(n, kv),
+            2 * n * kv * h * BYTES_PER_ELEMENT,
+        ),
+        OperatorIntensity(
+            "attention_context",
+            h * attention_context_flops(n, kv, hd),
+            act(kv, d) + n * kv * h * BYTES_PER_ELEMENT + act(n, d),
+        ),
+        OperatorIntensity(
+            "attention_projection",
+            fc_flops(n, d, d),
+            d * d * BYTES_PER_ELEMENT + 2 * act(n, d),
+        ),
+        OperatorIntensity(
+            "layernorm",
+            2 * layernorm_flops(n, d),
+            4 * act(n, d),
+        ),
+        OperatorIntensity(
+            "ffn1",
+            fc_flops(n, d, d_ff),
+            d * d_ff * BYTES_PER_ELEMENT + act(n, d) + act(n, d_ff),
+        ),
+        OperatorIntensity(
+            "ffn2",
+            fc_flops(n, d_ff, d),
+            d_ff * d * BYTES_PER_ELEMENT + act(n, d_ff) + act(n, d),
+        ),
+    ]
+
+
+def ridge_point(platform: Platform) -> float:
+    """Arithmetic intensity separating memory- from compute-bound operation."""
+    return platform.ridge_point
+
+
+def classify_operator(operator: OperatorIntensity, platform: Platform) -> str:
+    """``"compute-bound"`` or ``"memory-bound"`` for one operator/platform pair."""
+    return (
+        "compute-bound"
+        if operator.intensity >= platform.ridge_point
+        else "memory-bound"
+    )
+
+
+def bound_fraction(model: ModelConfig, stage: Stage, platform: Platform,
+                   num_tokens: int = 256) -> float:
+    """Fraction of a block's FLOPs that are memory-bound on a platform.
+
+    With ``stage=Stage.GENERATION`` (one token) almost everything is memory
+    bound on a conventional platform — the observation that motivates putting
+    the FC layers into the PIM.
+    """
+    if stage is Stage.SUMMARIZATION:
+        stage_pass = StagePass(stage, num_tokens, num_tokens)
+    else:
+        stage_pass = StagePass(stage, 1, num_tokens)
+    operators = block_operator_intensities(model, stage_pass)
+    total = sum(op.flops for op in operators)
+    memory_bound = sum(
+        op.flops for op in operators
+        if classify_operator(op, platform) == "memory-bound"
+    )
+    return memory_bound / total if total > 0 else 0.0

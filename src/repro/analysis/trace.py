@@ -1,0 +1,131 @@
+"""Timeline traces: export and ASCII Gantt rendering of schedules.
+
+The event engine produces :class:`repro.scheduling.Timeline` objects; this
+module turns them into artefacts a person (or another tool) can consume:
+
+* :func:`timeline_to_records` — a list of plain dictionaries (one per
+  command) suitable for JSON export or conversion to a Chrome-trace file;
+* :func:`render_gantt` — a fixed-width ASCII Gantt chart with one lane per
+  execution unit, which makes the PAS overlaps (and the serialisation the
+  naive policy suffers) directly visible in a terminal;
+* :func:`overlap_matrix` — pairwise busy-time overlap between units, the
+  quantity the scheduling ablation reasons about.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir.command import Unit
+from repro.scheduling.events import Timeline
+
+__all__ = ["timeline_to_records", "render_gantt", "overlap_matrix"]
+
+#: Lane order used by the Gantt rendering (sync commands are omitted).
+_LANE_ORDER = [
+    Unit.MATRIX_UNIT,
+    Unit.VECTOR_UNIT,
+    Unit.DMA_LOAD,
+    Unit.DMA_STORE,
+    Unit.DMA_ONCHIP,
+    Unit.PIM,
+    Unit.HOST,
+]
+
+_LANE_LABELS = {
+    Unit.MATRIX_UNIT: "matrix unit",
+    Unit.VECTOR_UNIT: "vector unit",
+    Unit.DMA_LOAD: "dma load",
+    Unit.DMA_STORE: "dma store",
+    Unit.DMA_ONCHIP: "dma on-chip",
+    Unit.PIM: "pim",
+    Unit.HOST: "host (pcie)",
+}
+
+
+def timeline_to_records(timeline: Timeline) -> list[dict]:
+    """Flatten a timeline into JSON-serialisable per-command records."""
+    records = []
+    for command in timeline.commands:
+        records.append(
+            {
+                "cid": command.cid,
+                "unit": command.unit.value,
+                "kind": command.kind.value,
+                "tag": command.tag,
+                "start_us": command.start * 1e6,
+                "end_us": command.end * 1e6,
+                "duration_us": command.duration * 1e6,
+                "flops": command.flops,
+                "bytes": command.bytes_moved,
+            }
+        )
+    return records
+
+
+def render_gantt(timeline: Timeline, width: int = 80) -> str:
+    """Render a fixed-width ASCII Gantt chart, one lane per execution unit.
+
+    Each lane shows ``#`` where the unit is busy; the time axis spans the
+    timeline's makespan.  Sync commands are not drawn (they carry no work).
+    """
+    if width < 20:
+        raise ValueError("width must be at least 20 characters")
+    makespan = timeline.makespan
+    if makespan <= 0:
+        return "(empty timeline)"
+
+    label_width = max(len(label) for label in _LANE_LABELS.values()) + 2
+    chart_width = width - label_width
+    lines = []
+    header = " " * label_width + f"0 {'.' * (chart_width - 12)} {makespan * 1e6:,.1f} us"
+    lines.append(header[:width])
+
+    by_unit: dict[Unit, list] = defaultdict(list)
+    for command in timeline.commands:
+        if command.unit in _LANE_LABELS:
+            by_unit[command.unit].append(command)
+
+    for unit in _LANE_ORDER:
+        commands = by_unit.get(unit)
+        if not commands:
+            continue
+        lane = [" "] * chart_width
+        for command in commands:
+            start = int(command.start / makespan * (chart_width - 1))
+            end = max(start, int(command.end / makespan * (chart_width - 1)))
+            for position in range(start, min(end + 1, chart_width)):
+                lane[position] = "#"
+        busy = timeline.busy_time(unit)
+        label = f"{_LANE_LABELS[unit]:<{label_width - 2}}"
+        lines.append(f"{label}  {''.join(lane)}  ({busy * 1e6:,.1f} us busy)"[: width + 20])
+    return "\n".join(lines)
+
+
+def overlap_matrix(timeline: Timeline) -> dict[tuple[str, str], float]:
+    """Pairwise overlapped busy time (seconds) between execution units."""
+    intervals: dict[Unit, list[tuple[float, float]]] = defaultdict(list)
+    for command in timeline.commands:
+        if command.unit in _LANE_LABELS and command.duration > 0:
+            intervals[command.unit].append((command.start, command.end))
+
+    def merged(unit: Unit) -> list[tuple[float, float]]:
+        spans = sorted(intervals[unit])
+        result: list[tuple[float, float]] = []
+        for start, end in spans:
+            if result and start <= result[-1][1]:
+                result[-1] = (result[-1][0], max(result[-1][1], end))
+            else:
+                result.append((start, end))
+        return result
+
+    units = sorted(intervals, key=lambda u: u.value)
+    matrix: dict[tuple[str, str], float] = {}
+    for i, first in enumerate(units):
+        for second in units[i + 1:]:
+            overlap = 0.0
+            for s1, e1 in merged(first):
+                for s2, e2 in merged(second):
+                    overlap += max(0.0, min(e1, e2) - max(s1, s2))
+            matrix[(first.value, second.value)] = overlap
+    return matrix

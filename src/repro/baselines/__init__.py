@@ -1,0 +1,7 @@
+"""Baselines the paper compares IANUS against: A100 GPU, DFX, NPU-MEM."""
+
+from repro.baselines.dfx import DfxAppliance
+from repro.baselines.gpu import A100Gpu, GpuKernel
+from repro.baselines.npu_mem import NpuMemSystem
+
+__all__ = ["A100Gpu", "GpuKernel", "DfxAppliance", "NpuMemSystem"]

@@ -1,0 +1,135 @@
+"""DFX baseline model (Fig. 9).
+
+DFX [Hong et al., MICRO 2022] is a multi-FPGA appliance built specifically
+for the generation stage of GPT: its peak FLOPS is sized to match its HBM
+bandwidth, so matrix-vector products stream weights at close to memory speed,
+but the small peak FLOPS (1.64 TFLOPS for the four-FPGA appliance of Table 2)
+makes the summarization stage slow.  The paper compares IANUS against a
+four-FPGA DFX running GPT-2 XL with the (input, output) configurations taken
+from the DFX paper.
+
+The model charges each stage a roofline term (compute-bound summarization,
+bandwidth-bound generation) plus per-layer instruction-streaming and
+inter-FPGA synchronisation overheads.
+"""
+
+from __future__ import annotations
+
+from repro.config import BYTES_PER_ELEMENT, DfxConfig
+from repro.core.results import InferenceResult, StageResult
+from repro.energy.model import EnergyBreakdown
+from repro.models.flops import stage_flops
+from repro.models.transformer import ModelConfig
+from repro.models.workload import Stage, StagePass, Workload
+
+__all__ = ["DfxAppliance"]
+
+
+class DfxAppliance:
+    """Analytical model of the DFX multi-FPGA appliance."""
+
+    def __init__(self, config: DfxConfig | None = None) -> None:
+        self.config = config or DfxConfig()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.config.name}-{self.config.num_fpgas}fpga"
+
+    @property
+    def tdp_w(self) -> float:
+        return self.config.tdp_w
+
+    # ------------------------------------------------------------------
+    def _per_layer_overhead(self, model: ModelConfig) -> float:
+        return model.num_blocks * (
+            self.config.layer_overhead_s + self.config.sync_overhead_s
+        )
+
+    def summarization_latency(self, model: ModelConfig, num_tokens: int) -> float:
+        """Compute-bound summarization pass over all input tokens."""
+        stage_pass = StagePass(Stage.SUMMARIZATION, num_tokens, num_tokens)
+        flops = stage_flops(model, stage_pass)
+        compute = flops / (self.config.peak_flops * self.config.summarization_efficiency)
+        weight_bytes = model.fc_param_bytes
+        memory = weight_bytes / self.config.memory_bandwidth
+        return max(compute, memory) + self._per_layer_overhead(model)
+
+    def generation_latency_per_token(self, model: ModelConfig, kv_length: int) -> float:
+        """Bandwidth-bound generation of one token."""
+        weight_bytes = model.fc_param_bytes
+        kv_bytes = model.kv_cache_bytes(kv_length)
+        memory = (weight_bytes + kv_bytes) / (
+            self.config.memory_bandwidth * self.config.generation_bandwidth_efficiency
+        )
+        stage_pass = StagePass(Stage.GENERATION, 1, kv_length)
+        compute = stage_flops(model, stage_pass) / self.config.peak_flops
+        return max(compute, memory) + self._per_layer_overhead(model)
+
+    # ------------------------------------------------------------------
+    def run(self, model: ModelConfig, workload: Workload, mode: str = "fast") -> InferenceResult:
+        del mode
+        if not model.is_decoder:
+            raise ValueError("DFX is a GPT-generation appliance; BERT is not supported")
+        model_bytes = model.param_bytes
+        if model_bytes > self.config.memory_capacity_bytes:
+            raise ValueError(
+                f"{model.name} does not fit in DFX's "
+                f"{self.config.memory_capacity_bytes / 2**30:.0f} GiB of HBM"
+            )
+
+        summ_latency = self.summarization_latency(model, workload.input_tokens)
+        summarization = StageResult(
+            latency_s=summ_latency,
+            breakdown={"Summarization": summ_latency},
+            energy=self._energy(summ_latency),
+            flops=stage_flops(
+                model,
+                StagePass(Stage.SUMMARIZATION, workload.input_tokens, workload.input_tokens),
+            ),
+            num_tokens=workload.input_tokens,
+        )
+
+        kv_lengths = workload.generation_kv_lengths()
+        gen_latency = 0.0
+        gen_flops = 0.0
+        if kv_lengths:
+            first = self.generation_latency_per_token(model, kv_lengths[0])
+            last = self.generation_latency_per_token(model, kv_lengths[-1])
+            gen_latency = (first + last) / 2 * len(kv_lengths)
+            gen_flops = sum(
+                stage_flops(model, StagePass(Stage.GENERATION, 1, kv))
+                for kv in (kv_lengths[0], kv_lengths[-1])
+            ) / 2 * len(kv_lengths)
+        generation = StageResult(
+            latency_s=gen_latency,
+            breakdown={"Generation": gen_latency},
+            energy=self._energy(gen_latency),
+            flops=gen_flops,
+            num_tokens=len(kv_lengths),
+        )
+        return InferenceResult(
+            backend=self.name,
+            model=model,
+            workload=workload,
+            summarization=summarization,
+            generation=generation,
+            energy=summarization.energy + generation.energy,
+        )
+
+    def _energy(self, latency_s: float) -> EnergyBreakdown:
+        dynamic_fraction = 0.5
+        return EnergyBreakdown(
+            normal_memory_j=0.4 * self.config.tdp_w * dynamic_fraction * latency_s,
+            pim_op_j=0.0,
+            npu_cores_j=0.6 * self.config.tdp_w * dynamic_fraction * latency_s,
+        )
+
+    # ------------------------------------------------------------------
+    def tokens_per_second(self, model: ModelConfig, kv_length: int) -> float:
+        per_token = self.generation_latency_per_token(model, kv_length)
+        return 1.0 / per_token if per_token > 0 else 0.0
+
+    def weight_streaming_bytes(self, model: ModelConfig) -> int:
+        """Bytes streamed from HBM per generated token (for documentation)."""
+        return model.fc_param_bytes + model.kv_bytes_per_token_per_block * model.num_blocks

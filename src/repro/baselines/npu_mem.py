@@ -1,0 +1,25 @@
+"""NPU-MEM baseline: the same NPU with standard GDDR6 memory (no PIM compute).
+
+NPU-MEM shares every specification with IANUS (Table 2) except that the
+GDDR6-AiM devices are replaced with standard GDDR6: the internal (in-memory)
+bandwidth and the bank processing units disappear, so every FC layer loads
+its weights over the 256 GB/s external interface and executes on the matrix
+unit.  It is the reference point of Figs. 9, 10 and 11.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.core.system import IanusSystem
+
+__all__ = ["NpuMemSystem"]
+
+
+class NpuMemSystem(IanusSystem):
+    """The NPU-with-plain-GDDR6 baseline."""
+
+    def __init__(self, config: SystemConfig | None = None, num_devices: int = 1) -> None:
+        base = config or SystemConfig.npu_mem()
+        if base.pim_compute_enabled:
+            base = base.variant(name="npu-mem", pim_compute_enabled=False)
+        super().__init__(base, num_devices=num_devices)

@@ -1,0 +1,153 @@
+"""Command-line interface for the IANUS reproduction.
+
+Three sub-commands cover the common workflows without writing any Python:
+
+``python -m repro simulate``
+    Simulate one inference request on a chosen backend and print the latency,
+    per-stage breakdown and energy (optionally with an ASCII Gantt chart of
+    one decoder block).
+
+``python -m repro experiment``
+    Run one or more of the registered paper experiments (``fig08``,
+    ``table1``, ...) and print the regenerated rows next to the paper's
+    claims.
+
+``python -m repro list``
+    List the available models, backends and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.trace import render_gantt
+from repro.baselines import A100Gpu, DfxAppliance, NpuMemSystem
+from repro.config import SystemConfig
+from repro.core import IanusSystem
+from repro.models import ALL_MODELS, Workload, get_model
+from repro.models.workload import Stage, StagePass
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_backend(name: str, num_devices: int):
+    """Instantiate a backend by CLI name."""
+    if name == "ianus":
+        return IanusSystem(SystemConfig.ianus(), num_devices=num_devices)
+    if name == "npu-mem":
+        return NpuMemSystem(num_devices=num_devices)
+    if name == "partitioned":
+        return IanusSystem(SystemConfig.partitioned(), num_devices=num_devices)
+    if name == "a100":
+        return A100Gpu()
+    if name == "dfx":
+        return DfxAppliance()
+    raise ValueError(f"unknown backend {name!r}")
+
+
+BACKENDS = ("ianus", "npu-mem", "partitioned", "a100", "dfx")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IANUS (ASPLOS 2024) reproduction - simulator and experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate one inference request on one backend"
+    )
+    simulate.add_argument("--model", default="gpt2-xl", help="model name (see `repro list`)")
+    simulate.add_argument("--backend", default="ianus", choices=BACKENDS)
+    simulate.add_argument("--input-tokens", type=int, default=128)
+    simulate.add_argument("--output-tokens", type=int, default=64)
+    simulate.add_argument("--devices", type=int, default=1,
+                          help="number of IANUS devices (simulator backends only)")
+    simulate.add_argument("--mode", choices=("fast", "exact"), default="fast")
+    simulate.add_argument("--gantt", action="store_true",
+                          help="print an ASCII Gantt chart of one generation-stage block")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one or more paper tables/figures"
+    )
+    experiment.add_argument("ids", nargs="+", help="experiment identifiers, e.g. fig08")
+    experiment.add_argument("--full", action="store_true",
+                            help="run the slower, more exhaustive variants")
+
+    subparsers.add_parser("list", help="list models, backends and experiments")
+    return parser
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    backend = _make_backend(args.backend, args.devices)
+    workload = Workload(args.input_tokens, args.output_tokens)
+    result = backend.run(model, workload, mode=args.mode)
+
+    print(f"backend      : {result.backend}")
+    print(f"model        : {model.describe()}")
+    print(f"workload     : {workload.label()}")
+    print(f"total        : {result.total_latency_ms:.2f} ms")
+    print(f"summarization: {result.summarization.latency_ms:.2f} ms")
+    print(f"generation   : {result.generation.latency_ms:.2f} ms "
+          f"({result.generation.latency_per_token_ms:.3f} ms/token)")
+    print(f"energy       : {result.energy.total_mj:.1f} mJ")
+    print("breakdown    :")
+    for tag, seconds in sorted(result.breakdown.items(), key=lambda item: -item[1]):
+        print(f"  {tag:<26} {seconds * 1e3:10.2f} ms")
+
+    if args.gantt and isinstance(backend, IanusSystem):
+        stage_pass = StagePass(Stage.GENERATION, 1, workload.total_tokens)
+        timeline = backend.block_timeline(model, stage_pass)
+        print()
+        print("One generation-stage decoder block (representative core):")
+        print(render_gantt(timeline))
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    unknown = [identifier for identifier in args.ids if identifier not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print(f"known experiments: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for identifier in args.ids:
+        result = run_experiment(identifier, fast=not args.full)
+        print("=" * 80)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def _run_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    print("models:")
+    for key, model in ALL_MODELS.items():
+        print(f"  {key:<12} {model.describe()}")
+    print()
+    print("backends:")
+    for backend in BACKENDS:
+        print(f"  {backend}")
+    print()
+    print("experiments:")
+    for identifier, (description, _) in EXPERIMENTS.items():
+        print(f"  {identifier:<26} {description}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "list":
+        return _run_list()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

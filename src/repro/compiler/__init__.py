@@ -1,0 +1,24 @@
+"""Compiler: workload mapping, attention scheduling, block lowering."""
+
+from repro.compiler.attention_schedule import (
+    AttentionContext,
+    build_generation_attention_mu,
+    build_generation_attention_pim,
+    build_summarization_attention,
+)
+from repro.compiler.compiler import CompiledBlock, Compiler
+from repro.compiler.mapping import AdaptiveMapper, FcMappingDecision
+from repro.compiler.partitioner import WeightPartitioner, WorkPartition
+
+__all__ = [
+    "AttentionContext",
+    "build_generation_attention_mu",
+    "build_generation_attention_pim",
+    "build_summarization_attention",
+    "CompiledBlock",
+    "Compiler",
+    "AdaptiveMapper",
+    "FcMappingDecision",
+    "WeightPartitioner",
+    "WorkPartition",
+]

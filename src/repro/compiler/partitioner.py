@@ -1,0 +1,103 @@
+"""Workload partitioning across NPU cores and PIM chips (Sec. 5.1, Fig. 6).
+
+Two forms of parallelism are exploited:
+
+* **attention-head parallelism** — the Q/K/V projection weights are
+  partitioned head-wise across the PIM chips, and the attention heads are
+  distributed across the NPU cores, so each core (and its associated PIM
+  chip) processes its own heads independently;
+* **intra-layer parallelism** — the remaining FC layers (attention output
+  projection, the two FFN matrices, the LM head) are partitioned column-wise
+  across cores, which keeps each core's output slice private and limits
+  synchronisation to four points per block: after multi-head attention, after
+  each residual addition, and after GELU.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.models.transformer import ModelConfig
+
+__all__ = ["WorkPartition", "WeightPartitioner"]
+
+
+@dataclass(frozen=True)
+class WorkPartition:
+    """Static division of one block's work across cores and PIM chips."""
+
+    num_cores: int
+    num_pim_chips: int
+    #: Attention heads processed by the representative core (core 0).
+    heads_on_core: int
+    #: Total attention heads of the model.
+    total_heads: int
+    #: Output-feature slice of column-wise partitioned FC layers per core.
+    projection_cols_per_core: int
+    ffn1_cols_per_core: int
+    ffn2_cols_per_core: int
+    lm_head_cols_per_core: int
+    #: PIM chip that stores the representative core's head-wise weights.
+    pim_chip_for_core: int
+
+    @property
+    def head_fraction(self) -> float:
+        """Fraction of all heads handled by the representative core."""
+        return self.heads_on_core / self.total_heads if self.total_heads else 0.0
+
+
+class WeightPartitioner:
+    """Computes the per-core / per-chip work division for a model.
+
+    ``num_devices`` extends the same partitioning across multiple IANUS
+    devices (Sec. 7.1): heads and FC columns are divided across
+    ``num_devices * num_cores`` workers, and each device's PIM computes only
+    its column slice of the column-partitioned layers.
+    """
+
+    def __init__(
+        self, config: SystemConfig, model: ModelConfig, num_devices: int = 1
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        self.config = config
+        self.model = model
+        self.num_devices = num_devices
+
+    def partition(self) -> WorkPartition:
+        cores = self.config.num_cores
+        chips = self.config.pim.num_chips
+        model = self.model
+        workers = cores * self.num_devices
+        heads_on_core = max(1, math.ceil(model.num_heads / workers))
+        return WorkPartition(
+            num_cores=cores,
+            num_pim_chips=chips,
+            heads_on_core=heads_on_core,
+            total_heads=model.num_heads,
+            projection_cols_per_core=math.ceil(model.embedding_dim / workers),
+            ffn1_cols_per_core=math.ceil(model.ffn_dim / workers),
+            ffn2_cols_per_core=math.ceil(model.embedding_dim / workers),
+            lm_head_cols_per_core=math.ceil(model.vocab_size / workers),
+            pim_chip_for_core=0,
+        )
+
+    # ------------------------------------------------------------------
+    def head_weight_bytes(self) -> int:
+        """Weight bytes of one head's Q, K and V projections."""
+        return 3 * self.model.embedding_dim * self.model.head_dim * 2
+
+    def chip_for_head(self, head_index: int) -> int:
+        """PIM chip storing a given head's projection weights (head-wise)."""
+        chips = self.config.pim.num_chips
+        return head_index % chips
+
+    def core_for_head(self, head_index: int) -> int:
+        """NPU core responsible for a given attention head."""
+        return head_index % self.config.num_cores
+
+    def sync_points_per_block(self) -> int:
+        """Synchronisations per block: after MHA, both residual adds, GELU."""
+        return 4

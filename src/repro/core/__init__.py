@@ -1,0 +1,15 @@
+"""The IANUS system model: end-to-end simulation, results, multi-device scaling."""
+
+from repro.core.multi_device import MultiIanusSystem, ScalingPoint, devices_required
+from repro.core.results import InferenceResult, StageResult, merge_breakdowns
+from repro.core.system import IanusSystem
+
+__all__ = [
+    "MultiIanusSystem",
+    "ScalingPoint",
+    "devices_required",
+    "InferenceResult",
+    "StageResult",
+    "merge_breakdowns",
+    "IanusSystem",
+]

@@ -1,0 +1,272 @@
+"""End-to-end IANUS system model.
+
+:class:`IanusSystem` composes the compiler, the PIM access scheduler (event
+engine), the memory-system model and the energy model into the object the
+experiments use: ``run(model, workload)`` returns an
+:class:`repro.core.results.InferenceResult` with the end-to-end latency, the
+per-stage breakdowns of Fig. 10, and the dynamic-energy split of Fig. 11.
+
+Simulation strategy
+-------------------
+Every block of the model executes the same command stream for a given pass,
+so one block is simulated and scaled by the number of blocks.  For the
+generation stage the per-token latency grows linearly with the KV length;
+``mode="fast"`` (the default) simulates a handful of sampled KV lengths and
+integrates the piecewise-linear latency curve over all generated tokens,
+while ``mode="exact"`` simulates every token individually.  The two agree
+within a small tolerance (covered by the test suite) and the fast mode makes
+the full Fig. 8 sweep tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.compiler.compiler import Compiler
+from repro.config import MemoryPolicy, SystemConfig
+from repro.core.results import InferenceResult, StageResult, merge_breakdowns
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.memory import make_memory_system
+from repro.memory.unified import MemoryCapacityError
+from repro.models.transformer import ModelConfig
+from repro.models.workload import Stage, StagePass, Workload
+from repro.scheduling.durations import DurationModel
+from repro.scheduling.events import ActivityStats, EventEngine, Timeline
+
+__all__ = ["IanusSystem"]
+
+#: Number of KV-length sample points used by the fast generation mode.
+FAST_MODE_SAMPLES = 5
+
+
+class IanusSystem:
+    """Simulator facade for one IANUS device (or one device of many).
+
+    Parameters
+    ----------
+    config:
+        System configuration; use :meth:`SystemConfig.ianus`,
+        :meth:`SystemConfig.npu_mem` or :meth:`SystemConfig.partitioned` for
+        the configurations evaluated in the paper.
+    num_devices:
+        Number of IANUS devices cooperating on the model (Sec. 7.1).  Work is
+        partitioned across devices the same way it is partitioned across
+        cores, and activations are exchanged over the PCIe host interface at
+        the block synchronisation points.
+    """
+
+    def __init__(self, config: SystemConfig, num_devices: int = 1) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        self.config = config
+        self.num_devices = num_devices
+        self.durations = DurationModel(config)
+        self.compiler = Compiler(config, self.durations, num_devices=num_devices)
+        self.engine = EventEngine(config, self.durations)
+        self.energy_model = EnergyModel(config.energy)
+        self.memory_system = make_memory_system(config)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        suffix = f" x{self.num_devices}" if self.num_devices > 1 else ""
+        return f"{self.config.name}{suffix}"
+
+    @property
+    def peak_flops(self) -> float:
+        return (self.config.peak_npu_flops + self.config.peak_pim_flops) * self.num_devices
+
+    @property
+    def npu_peak_flops(self) -> float:
+        return self.config.peak_npu_flops * self.num_devices
+
+    @property
+    def tdp_w(self) -> float:
+        return self.config.tdp_w * self.num_devices
+
+    # ------------------------------------------------------------------
+    def check_capacity(self, model: ModelConfig, workload: Workload) -> None:
+        """Raise :class:`MemoryCapacityError` when the model does not fit."""
+        max_sequence = workload.total_tokens
+        if self.num_devices == 1:
+            self.memory_system.place(model, max_sequence)
+            return
+        per_device_bytes = model.memory_footprint_bytes(max_sequence) / self.num_devices
+        capacity = self.config.npu_visible_capacity_bytes
+        if per_device_bytes > capacity:
+            raise MemoryCapacityError(
+                f"{model.name} needs {per_device_bytes / 2**30:.2f} GiB per device "
+                f"but each device provides {capacity / 2**30:.2f} GiB"
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, model: ModelConfig, workload: Workload, mode: str = "fast"
+    ) -> InferenceResult:
+        """Simulate end-to-end inference of ``model`` under ``workload``."""
+        if mode not in ("fast", "exact"):
+            raise ValueError(f"mode must be 'fast' or 'exact', got {mode!r}")
+        self.check_capacity(model, workload)
+
+        summarization = self._run_summarization(model, workload)
+        generation = self._run_generation(model, workload, mode)
+        energy = summarization.energy + generation.energy
+        return InferenceResult(
+            backend=self.name,
+            model=model,
+            workload=workload,
+            summarization=summarization,
+            generation=generation,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------------
+    # Summarization stage
+    # ------------------------------------------------------------------
+    def _run_summarization(self, model: ModelConfig, workload: Workload) -> StageResult:
+        stage_pass = StagePass(
+            stage=Stage.SUMMARIZATION,
+            num_tokens=workload.input_tokens,
+            kv_length=workload.input_tokens,
+        )
+        latency, breakdown, stats, flops = self._pass_cost(model, stage_pass)
+        return StageResult(
+            latency_s=latency,
+            breakdown=breakdown,
+            energy=self.energy_model.from_stats(stats),
+            flops=flops,
+            num_tokens=workload.input_tokens,
+        )
+
+    # ------------------------------------------------------------------
+    # Generation stage
+    # ------------------------------------------------------------------
+    def _run_generation(
+        self, model: ModelConfig, workload: Workload, mode: str
+    ) -> StageResult:
+        kv_lengths = workload.generation_kv_lengths()
+        if not kv_lengths or not model.is_decoder:
+            return StageResult(latency_s=0.0, num_tokens=0)
+
+        if mode == "exact" or len(kv_lengths) <= FAST_MODE_SAMPLES:
+            samples = kv_lengths
+        else:
+            first, last = kv_lengths[0], kv_lengths[-1]
+            step = (last - first) / (FAST_MODE_SAMPLES - 1)
+            samples = sorted({int(round(first + i * step)) for i in range(FAST_MODE_SAMPLES)})
+
+        sample_results = {}
+        for kv in samples:
+            stage_pass = StagePass(stage=Stage.GENERATION, num_tokens=1, kv_length=kv)
+            sample_results[kv] = self._pass_cost(model, stage_pass)
+
+        total_latency = 0.0
+        total_flops = 0.0
+        total_stats = ActivityStats()
+        breakdown_acc: dict[str, float] = {}
+        sample_kvs = sorted(sample_results)
+        for kv in kv_lengths:
+            latency, breakdown, stats, flops = self._interpolate(
+                kv, sample_kvs, sample_results
+            )
+            total_latency += latency
+            total_flops += flops
+            total_stats = total_stats.merge(stats)
+            breakdown_acc = merge_breakdowns(breakdown_acc, breakdown)
+
+        return StageResult(
+            latency_s=total_latency,
+            breakdown=breakdown_acc,
+            energy=self.energy_model.from_stats(total_stats),
+            flops=total_flops,
+            num_tokens=len(kv_lengths),
+        )
+
+    @staticmethod
+    def _interpolate(kv: int, sample_kvs: list[int], sample_results: dict):
+        """Piecewise-linear interpolation of a pass cost between sampled KV lengths."""
+        if kv in sample_results:
+            return sample_results[kv]
+        position = bisect.bisect_left(sample_kvs, kv)
+        position = min(max(position, 1), len(sample_kvs) - 1)
+        low, high = sample_kvs[position - 1], sample_kvs[position]
+        weight = (kv - low) / (high - low) if high != low else 0.0
+        lat_l, brk_l, stats_l, flops_l = sample_results[low]
+        lat_h, brk_h, stats_h, flops_h = sample_results[high]
+        latency = lat_l + weight * (lat_h - lat_l)
+        flops = flops_l + weight * (flops_h - flops_l)
+        breakdown = {
+            tag: brk_l.get(tag, 0.0)
+            + weight * (brk_h.get(tag, 0.0) - brk_l.get(tag, 0.0))
+            for tag in set(brk_l) | set(brk_h)
+        }
+        stats = stats_l.scaled(1.0 - weight).merge(stats_h.scaled(weight))
+        return latency, breakdown, stats, flops
+
+    # ------------------------------------------------------------------
+    # One full pass through the model (all blocks + embedding + LM head)
+    # ------------------------------------------------------------------
+    def _pass_cost(self, model: ModelConfig, stage_pass: StagePass):
+        """Latency, breakdown, activity and FLOPs of one full model pass."""
+        block = self.compiler.compile_block(model, stage_pass)
+        block_timeline = self.engine.simulate(block.stream)
+        block_latency = block_timeline.makespan + self._partitioned_penalty(model, stage_pass)
+
+        embedding_stream = self.compiler.compile_embedding(model, stage_pass.num_tokens)
+        embedding_timeline = self.engine.simulate(embedding_stream)
+
+        cores = self.config.num_cores
+        latency = model.num_blocks * block_latency + embedding_timeline.makespan
+        breakdown = {
+            tag: value * model.num_blocks
+            for tag, value in block_timeline.breakdown_by_tag().items()
+        }
+        breakdown = merge_breakdowns(breakdown, embedding_timeline.breakdown_by_tag())
+        stats = (
+            block_timeline.stats.with_core_scaling(cores)
+            .scaled(model.num_blocks)
+            .merge(embedding_timeline.stats)
+        )
+        flops = block_timeline.total_flops() * model.num_blocks * cores
+
+        if model.is_decoder:
+            lm_head = self.compiler.compile_lm_head(model)
+            lm_timeline = self.engine.simulate(lm_head.stream)
+            latency += lm_timeline.makespan
+            breakdown = merge_breakdowns(breakdown, lm_timeline.breakdown_by_tag())
+            stats = stats.merge(lm_timeline.stats.with_core_scaling(cores))
+            flops += lm_timeline.total_flops() * cores
+
+        return latency, breakdown, stats, flops
+
+    # ------------------------------------------------------------------
+    def _partitioned_penalty(self, model: ModelConfig, stage_pass: StagePass) -> float:
+        """Extra per-block time in the partitioned organisation (Fig. 13).
+
+        FC parameters that could not be duplicated into the NPU region must be
+        moved from the PIM region when the matrix unit needs them; the
+        movement competes with PIM computation, so it is exposed latency
+        (Sec. 6.2: for GPT-2 2.5B the parameters no longer fit twice).
+        """
+        if self.config.memory_policy is not MemoryPolicy.PARTITIONED:
+            return 0.0
+        fraction = self.memory_system.non_duplicated_fraction(
+            model, max_sequence_length=stage_pass.kv_length
+        )
+        if fraction <= 0.0:
+            return 0.0
+        non_duplicated_bytes = fraction * model.fc_params_per_block * 2
+        return non_duplicated_bytes / self.config.offchip_bandwidth
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and examples
+    # ------------------------------------------------------------------
+    def block_timeline(self, model: ModelConfig, stage_pass: StagePass) -> Timeline:
+        """Simulate one block and return its full timeline (for inspection)."""
+        block = self.compiler.compile_block(model, stage_pass)
+        return self.engine.simulate(block.stream)
+
+    def fc_mapping_for(self, model: ModelConfig, stage_pass: StagePass) -> dict[str, str]:
+        """Which unit each FC of a block maps to under the current policy."""
+        block = self.compiler.compile_block(model, stage_pass)
+        return {name: unit.value for name, unit in block.fc_units.items()}

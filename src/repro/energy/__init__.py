@@ -1,0 +1,5 @@
+"""Dynamic energy accounting."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

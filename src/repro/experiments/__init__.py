@@ -1,0 +1,5 @@
+"""Paper-reproduction experiments: one module per table/figure of the evaluation."""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

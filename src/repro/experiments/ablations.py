@@ -1,0 +1,119 @@
+"""Ablation studies of design choices called out in DESIGN.md.
+
+These go beyond the paper's figures and quantify individual mechanisms of
+PIM Access Scheduling and of the PIM data layout:
+
+* ``run_overlap_ablation`` — how much of IANUS's generation-stage performance
+  comes from the overlap-enabling dependencies of the Fig. 7 schedules versus
+  the engine-level exclusion handling alone (scheduling=PAS vs NAIVE on the
+  same mapping).
+* ``run_address_mapping_ablation`` — the PIM-aware Row-Channel-Bank-Column
+  tile placement of Fig. 5 versus a hypothetical layout in which each GEMV
+  tile spans two row addresses (doubling activations), quantifying why the
+  address mapping matters.
+* ``run_fast_vs_exact`` — accuracy of the sampled-KV fast generation mode
+  against exact per-token simulation.
+"""
+
+from __future__ import annotations
+
+from repro.config import SchedulingPolicy, SystemConfig
+from repro.core.system import IanusSystem
+from repro.experiments.base import ExperimentResult
+from repro.models import GPT2_CONFIGS, Workload
+from repro.pim.pim_chip import PimDeviceModel
+
+__all__ = ["run_overlap_ablation", "run_address_mapping_ablation", "run_fast_vs_exact"]
+
+
+def run_overlap_ablation(fast: bool = True) -> ExperimentResult:
+    del fast
+    workload = Workload(128, 128)
+    rows = []
+    gains = {}
+    for key in ("m", "xl"):
+        model = GPT2_CONFIGS[key]
+        pas = IanusSystem(SystemConfig.ianus()).run(model, workload)
+        naive = IanusSystem(
+            SystemConfig.ianus(scheduling=SchedulingPolicy.NAIVE, name="ianus-naive")
+        ).run(model, workload)
+        gains[key] = naive.generation.latency_s / pas.generation.latency_s
+        rows.append(
+            [model.name, round(naive.generation.latency_ms, 1),
+             round(pas.generation.latency_ms, 1), round(gains[key], 2)]
+        )
+    return ExperimentResult(
+        experiment_id="ablation-overlap",
+        title="Ablation - overlap-aware scheduling vs naive (generation stage, (128,128))",
+        headers=["model", "naive ms", "PAS ms", "gain"],
+        rows=rows,
+        paper_claims=["unified memory-aware scheduling yields an average 34% improvement (Fig. 13)"],
+        measured_claims=[
+            "scheduling gain: " + ", ".join(f"{k}={v:.2f}x" for k, v in gains.items())
+        ],
+        data={"gains": gains},
+    )
+
+
+def run_address_mapping_ablation(fast: bool = True) -> ExperimentResult:
+    del fast
+    config = SystemConfig.ianus()
+    device = PimDeviceModel(config.pim)
+    # A conflicting layout would split every tile's data across two rows,
+    # doubling activations and halving the useful columns per activation.
+    rows = []
+    penalties = {}
+    for key, model in GPT2_CONFIGS.items():
+        d = model.embedding_dim
+        good = device.gemv(d, d)
+        conflicting_time = device.gemv(d, d // 2).seconds * 2
+        penalties[key] = conflicting_time / good.seconds
+        rows.append(
+            [model.name, round(good.seconds * 1e6, 2), round(conflicting_time * 1e6, 2),
+             round(penalties[key], 2)]
+        )
+    return ExperimentResult(
+        experiment_id="ablation-address-mapping",
+        title="Ablation - PIM-aware tile placement vs a row-conflicting layout (d x d GEMV)",
+        headers=["model", "IANUS mapping (us)", "conflicting layout (us)", "slowdown"],
+        rows=rows,
+        paper_claims=[
+            "the address mapping keeps each tile in a single row address so no row "
+            "conflicts occur during a tile's computation (Sec. 4.3)"
+        ],
+        measured_claims=[
+            "a row-conflicting layout slows the GEMV by "
+            + ", ".join(f"{k}={v:.2f}x" for k, v in penalties.items())
+        ],
+        data={"penalties": penalties},
+    )
+
+
+def run_fast_vs_exact(fast: bool = True) -> ExperimentResult:
+    del fast
+    system = IanusSystem(SystemConfig.ianus())
+    rows = []
+    errors = {}
+    for key, workload in (("m", Workload(128, 64)), ("l", Workload(64, 32))):
+        model = GPT2_CONFIGS[key]
+        fast_result = system.run(model, workload, mode="fast")
+        exact_result = system.run(model, workload, mode="exact")
+        error = abs(fast_result.total_latency_s - exact_result.total_latency_s) / (
+            exact_result.total_latency_s
+        )
+        errors[key] = error
+        rows.append(
+            [model.name, workload.label(), round(exact_result.total_latency_ms, 2),
+             round(fast_result.total_latency_ms, 2), f"{error:.3%}"]
+        )
+    return ExperimentResult(
+        experiment_id="ablation-fast-mode",
+        title="Ablation - sampled-KV fast mode vs exact per-token simulation",
+        headers=["model", "(input,output)", "exact ms", "fast ms", "relative error"],
+        rows=rows,
+        paper_claims=["(methodological check of this reproduction, not a paper figure)"],
+        measured_claims=[
+            "fast-mode error: " + ", ".join(f"{k}={v:.3%}" for k, v in errors.items())
+        ],
+        data={"errors": errors},
+    )

@@ -1,0 +1,50 @@
+"""Common infrastructure for the paper-reproduction experiments.
+
+Every ``figXX_*`` module exposes a ``run(fast: bool = True) -> ExperimentResult``
+function that regenerates one table or figure of the paper's evaluation: the
+same rows/series the paper reports, plus the paper's published values (where
+the paper states them) so ``EXPERIMENTS.md`` and the benchmark harness can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated data of one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    #: What the paper reports for this experiment (claims and/or key numbers).
+    paper_claims: list[str] = field(default_factory=list)
+    #: What this reproduction measured (the same claims, quantified).
+    measured_claims: list[str] = field(default_factory=list)
+    #: Free-form extra data for tests and downstream tooling.
+    data: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Human-readable report: table plus paper-vs-measured claims."""
+        lines = [format_table(self.headers, self.rows, title=self.title)]
+        if self.paper_claims:
+            lines.append("")
+            lines.append("Paper:")
+            lines.extend(f"  - {claim}" for claim in self.paper_claims)
+        if self.measured_claims:
+            lines.append("")
+            lines.append("Measured (this reproduction):")
+            lines.extend(f"  - {claim}" for claim in self.measured_claims)
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list:
+        """Extract one column of the result table by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,85 @@
+"""Fig. 8 — end-to-end GPT-2 inference latency: A100 GPU vs IANUS.
+
+Four GPT-2 models (M, L, XL, 2.5B) are swept over twelve (input, output)
+token configurations (inputs 128/256/512, outputs 1/8/64/512).  The paper
+reports an overall average speedup of 6.2x for IANUS over the GPU, with the
+per-model averages 11.3x (M), 7.6x (L), and 4.3x (2.5B), and e.g. 12.0x /
+8.1x / 6.6x for the generation-heavy (128,512) configuration on M / L / XL.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import arithmetic_mean
+from repro.baselines.gpu import A100Gpu
+from repro.config import SystemConfig
+from repro.core.system import IanusSystem
+from repro.experiments.base import ExperimentResult
+from repro.models import GPT2_CONFIGS, Workload
+
+__all__ = ["run", "PAPER_AVERAGE_SPEEDUPS"]
+
+#: Per-model average speedups the paper annotates on Fig. 8.
+PAPER_AVERAGE_SPEEDUPS = {"m": 11.3, "l": 7.6, "xl": 6.2, "2.5b": 4.3}
+PAPER_OVERALL_SPEEDUP = 6.2
+
+INPUT_SIZES = (128, 256, 512)
+OUTPUT_SIZES = (1, 8, 64, 512)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    output_sizes = OUTPUT_SIZES if fast else OUTPUT_SIZES
+    gpu = A100Gpu()
+    ianus = IanusSystem(SystemConfig.ianus())
+
+    rows: list[list] = []
+    speedups_by_model: dict[str, list[float]] = {}
+    for key, model in GPT2_CONFIGS.items():
+        speedups: list[float] = []
+        for input_size in INPUT_SIZES:
+            for output_size in output_sizes:
+                workload = Workload(input_size, output_size)
+                gpu_ms = gpu.run(model, workload).total_latency_ms
+                ianus_ms = ianus.run(model, workload).total_latency_ms
+                speedup = gpu_ms / ianus_ms
+                speedups.append(speedup)
+                rows.append(
+                    [model.name, workload.label(), round(gpu_ms, 2), round(ianus_ms, 2),
+                     round(speedup, 2)]
+                )
+        speedups_by_model[key] = speedups
+        rows.append(
+            [model.name, "Avg", "", "", round(arithmetic_mean(speedups), 2)]
+        )
+
+    per_model_avg = {k: arithmetic_mean(v) for k, v in speedups_by_model.items()}
+    overall = arithmetic_mean([s for v in speedups_by_model.values() for s in v])
+    return ExperimentResult(
+        experiment_id="fig08",
+        title="Fig. 8 - GPT-2 end-to-end latency (ms), A100 GPU vs IANUS",
+        headers=["model", "(input,output)", "GPU ms", "IANUS ms", "speedup"],
+        rows=rows,
+        paper_claims=[
+            f"average speedups: M={PAPER_AVERAGE_SPEEDUPS['m']}x, "
+            f"L={PAPER_AVERAGE_SPEEDUPS['l']}x, 2.5B={PAPER_AVERAGE_SPEEDUPS['2.5b']}x",
+            f"overall average speedup {PAPER_OVERALL_SPEEDUP}x over the A100",
+            "speedup decreases as the model grows (2.5B benefits least)",
+            "generation-heavy (128,512) shows the largest speedups (12.0x for GPT-2 M)",
+        ],
+        measured_claims=[
+            "average speedups: "
+            + ", ".join(f"{k.upper()}={v:.1f}x" for k, v in per_model_avg.items()),
+            f"overall average speedup {overall:.1f}x over the A100",
+            "speedup decreases monotonically with model size: "
+            + ("yes" if _is_decreasing(per_model_avg) else "no"),
+        ],
+        data={
+            "per_model_average_speedup": per_model_avg,
+            "overall_average_speedup": overall,
+            "speedups_by_model": speedups_by_model,
+        },
+    )
+
+
+def _is_decreasing(per_model_avg: dict[str, float]) -> bool:
+    ordered = [per_model_avg[k] for k in ("m", "l", "xl", "2.5b")]
+    return all(a >= b for a, b in zip(ordered, ordered[1:]))

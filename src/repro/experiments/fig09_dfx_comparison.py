@@ -1,0 +1,87 @@
+"""Fig. 9 — GPT-2 XL latency on DFX, NPU-MEM and IANUS.
+
+The (input, output) configurations are taken from the DFX paper (inputs
+32/64/128, outputs 1/16/256).  The paper's headline numbers: IANUS is 49.3x
+faster than DFX for (128,1) (summarization-only, where DFX's low FLOPS
+hurts), IANUS generates a token in 3.8 ms vs DFX's 6.9 ms for (64,256), the
+overall average speedup over DFX is 3.2x (ratio of total latency over the
+sweep), and NPU-MEM is on average 24% slower than DFX.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import total_latency_ratio
+from repro.baselines.dfx import DfxAppliance
+from repro.baselines.npu_mem import NpuMemSystem
+from repro.config import SystemConfig
+from repro.core.system import IanusSystem
+from repro.experiments.base import ExperimentResult
+from repro.models import GPT2_CONFIGS, PAPER_DFX_WORKLOADS
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    model = GPT2_CONFIGS["xl"]
+    dfx = DfxAppliance()
+    npu_mem = NpuMemSystem()
+    ianus = IanusSystem(SystemConfig.ianus())
+
+    rows: list[list] = []
+    dfx_latencies: list[float] = []
+    npu_latencies: list[float] = []
+    ianus_latencies: list[float] = []
+    per_config: dict[str, dict[str, float]] = {}
+    for workload in PAPER_DFX_WORKLOADS:
+        dfx_ms = dfx.run(model, workload).total_latency_ms
+        npu_ms = npu_mem.run(model, workload).total_latency_ms
+        ianus_ms = ianus.run(model, workload).total_latency_ms
+        dfx_latencies.append(dfx_ms)
+        npu_latencies.append(npu_ms)
+        ianus_latencies.append(ianus_ms)
+        per_config[workload.label()] = {
+            "dfx": dfx_ms, "npu_mem": npu_ms, "ianus": ianus_ms,
+        }
+        rows.append(
+            [workload.label(), round(dfx_ms, 1), round(npu_ms, 1), round(ianus_ms, 1),
+             round(dfx_ms / ianus_ms, 1)]
+        )
+
+    avg_speedup_vs_dfx = total_latency_ratio(dfx_latencies, ianus_latencies)
+    npu_vs_dfx = total_latency_ratio(dfx_latencies, npu_latencies)
+    summ_only = per_config["(128,1)"]
+    gen_heavy = per_config["(64,256)"]
+    dfx_token_ms = (gen_heavy["dfx"] - summ_only_latency(per_config, 64)) / 255
+    ianus_token_ms = (gen_heavy["ianus"] - summ_only_latency(per_config, 64, "ianus")) / 255
+
+    return ExperimentResult(
+        experiment_id="fig09",
+        title="Fig. 9 - GPT-2 XL latency (ms): DFX vs NPU-MEM vs IANUS",
+        headers=["(input,output)", "DFX ms", "NPU-MEM ms", "IANUS ms", "DFX/IANUS"],
+        rows=rows,
+        paper_claims=[
+            "IANUS is 49.3x faster than DFX for (128,1)",
+            "DFX generates a token in 6.9 ms, IANUS in 3.8 ms for (64,256) (1.8x)",
+            "IANUS achieves a 3.2x average speedup over DFX (total-latency ratio)",
+            "NPU-MEM is on average 24% slower than DFX",
+        ],
+        measured_claims=[
+            f"IANUS is {summ_only['dfx'] / summ_only['ianus']:.1f}x faster than DFX for (128,1)",
+            f"DFX generates a token in {dfx_token_ms:.1f} ms, IANUS in {ianus_token_ms:.1f} ms for (64,256)",
+            f"IANUS achieves a {avg_speedup_vs_dfx:.1f}x average speedup over DFX (total-latency ratio)",
+            f"NPU-MEM is {1 / npu_vs_dfx - 1:+.0%} vs DFX total latency "
+            f"(negative means NPU-MEM is faster)",
+        ],
+        data={
+            "per_config": per_config,
+            "avg_speedup_vs_dfx": avg_speedup_vs_dfx,
+            "npu_mem_vs_dfx": npu_vs_dfx,
+        },
+    )
+
+
+def summ_only_latency(per_config: dict[str, dict[str, float]], input_size: int,
+                      backend: str = "dfx") -> float:
+    """Latency of the summarization-only configuration for an input size."""
+    return per_config[f"({input_size},1)"][backend]

@@ -1,0 +1,85 @@
+"""Fig. 11 — dynamic energy of NPU-MEM and IANUS, normalised to IANUS/GPT-2 M.
+
+With 256 input and 512 output tokens, the dynamic energy is split into normal
+GDDR6 operations, PIM operations and the NPU cores' computation.  The paper
+reports 10.5-13.4x lower normal-memory energy, 6.3-10.2x lower core energy
+and overall energy-efficiency improvements of 3.7x / 3.6x / 3.9x / 4.4x for
+GPT-2 M / L / XL / 2.5B (with L improving less than M because its 1280
+embedding dimension needs twice the row activations of a 1024-wide model).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.npu_mem import NpuMemSystem
+from repro.config import SystemConfig
+from repro.core.system import IanusSystem
+from repro.experiments.base import ExperimentResult
+from repro.models import GPT2_CONFIGS, Workload
+
+__all__ = ["run"]
+
+WORKLOAD = Workload(input_tokens=256, output_tokens=512)
+PAPER_EFFICIENCY_GAINS = {"m": 3.7, "l": 3.6, "xl": 3.9, "2.5b": 4.4}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    ianus = IanusSystem(SystemConfig.ianus())
+    npu_mem = NpuMemSystem()
+
+    energies: dict[str, dict[str, object]] = {}
+    for key, model in GPT2_CONFIGS.items():
+        energies[key] = {
+            "ianus": ianus.run(model, WORKLOAD).energy,
+            "npu_mem": npu_mem.run(model, WORKLOAD).energy,
+        }
+
+    reference = energies["m"]["ianus"].total_j
+    rows: list[list] = []
+    gains: dict[str, float] = {}
+    normal_reductions: dict[str, float] = {}
+    core_reductions: dict[str, float] = {}
+    for key, model_energies in energies.items():
+        model = GPT2_CONFIGS[key]
+        for backend in ("npu_mem", "ianus"):
+            energy = model_energies[backend]
+            normalized = energy.normalized_to(reference)
+            rows.append(
+                [model.name, backend.replace("_", "-").upper(),
+                 round(normalized["normal_memory"], 2), round(normalized["pim_op"], 2),
+                 round(normalized["npu_cores"], 2), round(normalized["total"], 2)]
+            )
+        ianus_energy = model_energies["ianus"]
+        npu_energy = model_energies["npu_mem"]
+        gains[key] = npu_energy.total_j / ianus_energy.total_j
+        normal_reductions[key] = (
+            npu_energy.normal_memory_j / max(ianus_energy.normal_memory_j, 1e-12)
+        )
+        core_reductions[key] = npu_energy.npu_cores_j / max(ianus_energy.npu_cores_j, 1e-12)
+
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Fig. 11 - dynamic energy normalised to IANUS/GPT-2 M, (256,512)",
+        headers=["model", "backend", "normal mem", "PIM op", "NPU cores", "total"],
+        rows=rows,
+        paper_claims=[
+            "normal-memory energy is reduced 10.5-13.4x by offloading FCs to PIM",
+            "NPU core energy is reduced 6.3-10.2x",
+            "energy-efficiency gains: "
+            + ", ".join(f"{k.upper()}={v}x" for k, v in PAPER_EFFICIENCY_GAINS.items()),
+            "GPT-2 L gains less than GPT-2 M (d=1280 doubles the row activations)",
+        ],
+        measured_claims=[
+            "normal-memory energy reduced "
+            f"{min(normal_reductions.values()):.1f}-{max(normal_reductions.values()):.1f}x",
+            f"NPU core energy reduced {min(core_reductions.values()):.1f}-"
+            f"{max(core_reductions.values()):.1f}x",
+            "energy-efficiency gains: "
+            + ", ".join(f"{k.upper()}={v:.1f}x" for k, v in gains.items()),
+        ],
+        data={
+            "efficiency_gains": gains,
+            "normal_memory_reductions": normal_reductions,
+            "core_reductions": core_reductions,
+        },
+    )

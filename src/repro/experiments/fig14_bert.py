@@ -1,0 +1,81 @@
+"""Fig. 14 — BERT throughput and compute utilisation, A100 GPU vs IANUS.
+
+BERT has no generation stage (and therefore no matrix-vector work for the
+PIM), so only the matrix unit and the vector unit of the NPU compute.  The
+paper reports that IANUS achieves 3.1x / 2.0x higher average throughput than
+the GPU for BERT-Base / BERT-Large despite 1.4x lower peak FLOPS, falls below
+the GPU's throughput for the larger BERT variants, yet sustains 5.2x / 3.3x /
+1.3x / 1.0x higher compute utilisation across BERT-B / L / 1.3B / 3.9B.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import arithmetic_mean
+from repro.baselines.gpu import A100Gpu
+from repro.config import SystemConfig
+from repro.core.system import IanusSystem
+from repro.experiments.base import ExperimentResult
+from repro.models import BERT_CONFIGS, PAPER_BERT_INPUT_SIZES, Workload
+
+__all__ = ["run"]
+
+PAPER_THROUGHPUT_RATIOS = {"base": 3.1, "large": 2.0, "1.3b": 0.8, "3.9b": 0.6}
+PAPER_UTILIZATION_RATIOS = {"base": 5.2, "large": 3.3, "1.3b": 1.3, "3.9b": 1.0}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    gpu = A100Gpu()
+    ianus = IanusSystem(SystemConfig.ianus())
+
+    rows: list[list] = []
+    throughput_ratios: dict[str, float] = {}
+    utilization_ratios: dict[str, float] = {}
+    for key, model in BERT_CONFIGS.items():
+        gpu_tputs, ianus_tputs = [], []
+        gpu_utils, ianus_utils = [], []
+        for input_size in PAPER_BERT_INPUT_SIZES:
+            workload = Workload(input_tokens=input_size, output_tokens=1)
+            gpu_result = gpu.run(model, workload)
+            ianus_result = ianus.run(model, workload)
+            gpu_tput = gpu_result.achieved_tflops
+            ianus_tput = ianus_result.achieved_tflops
+            gpu_util = gpu_result.utilization(gpu.peak_flops)
+            ianus_util = ianus_result.utilization(ianus.npu_peak_flops)
+            gpu_tputs.append(gpu_tput)
+            ianus_tputs.append(ianus_tput)
+            gpu_utils.append(gpu_util)
+            ianus_utils.append(ianus_util)
+            rows.append(
+                [model.name, input_size, round(gpu_tput, 1), round(ianus_tput, 1),
+                 f"{gpu_util:.1%}", f"{ianus_util:.1%}"]
+            )
+        throughput_ratios[key] = arithmetic_mean(ianus_tputs) / arithmetic_mean(gpu_tputs)
+        utilization_ratios[key] = arithmetic_mean(ianus_utils) / arithmetic_mean(gpu_utils)
+        rows.append(
+            [model.name, "Avg ratio", "", "", f"{throughput_ratios[key]:.1f}x tput",
+             f"{utilization_ratios[key]:.1f}x util"]
+        )
+
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Fig. 14 - BERT throughput (TFLOPS) and compute utilisation",
+        headers=["model", "input", "GPU TFLOPS", "IANUS TFLOPS", "GPU util", "IANUS util"],
+        rows=rows,
+        paper_claims=[
+            "IANUS reaches 3.1x / 2.0x the GPU's throughput for BERT-B / BERT-L",
+            "the GPU overtakes IANUS's throughput for BERT-1.3B and 3.9B (more FLOPs, "
+            "IANUS has 1.4x lower peak FLOPS)",
+            "IANUS sustains 5.2x / 3.3x / 1.3x / 1.0x higher utilisation for B / L / 1.3B / 3.9B",
+        ],
+        measured_claims=[
+            "throughput ratios (IANUS/GPU): "
+            + ", ".join(f"{k}={v:.1f}x" for k, v in throughput_ratios.items()),
+            "utilisation ratios (IANUS/GPU): "
+            + ", ".join(f"{k}={v:.1f}x" for k, v in utilization_ratios.items()),
+        ],
+        data={
+            "throughput_ratios": throughput_ratios,
+            "utilization_ratios": utilization_ratios,
+        },
+    )

@@ -1,0 +1,72 @@
+"""Fig. 15 — sensitivity to the number of NPU cores and PIM chips.
+
+With the memory bandwidth held constant, the number of NPU cores (1/2/4) and
+the number of PIM chips participating in compute (1/2/4) are varied for
+GPT-2 L under a summarization-only (256,1) and a generation-dominant
+(256,512) workload.  The paper observes that fewer cores hurt both workloads
+(the summarization-only case more, because the NPU executes everything except
+the LM head), while PIM compute capability only matters for the
+generation-dominant case.  Results are normalised to 4 cores / 4 PIM chips.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.core.system import IanusSystem
+from repro.experiments.base import ExperimentResult
+from repro.models import GPT2_CONFIGS, Workload
+
+__all__ = ["run"]
+
+WORKLOADS = {
+    "summarization-only (256,1)": Workload(256, 1),
+    "generation-dominant (256,512)": Workload(256, 512),
+}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    model = GPT2_CONFIGS["l"]
+    baseline = IanusSystem(SystemConfig.ianus())
+    baseline_latency = {
+        label: baseline.run(model, workload).total_latency_s
+        for label, workload in WORKLOADS.items()
+    }
+
+    rows: list[list] = []
+    slowdowns: dict[str, dict[str, float]] = {"cores": {}, "pims": {}}
+    for cores in (1, 2, 4):
+        system = IanusSystem(SystemConfig.ianus(num_cores=cores, name=f"ianus-{cores}c"))
+        for label, workload in WORKLOADS.items():
+            slowdown = system.run(model, workload).total_latency_s / baseline_latency[label]
+            slowdowns["cores"][f"{cores}/{label}"] = slowdown
+            rows.append(["# cores", cores, label, round(slowdown, 2)])
+    for chips in (1, 2, 4):
+        system = IanusSystem(
+            SystemConfig.ianus(pim_compute_chips=chips, name=f"ianus-{chips}p")
+        )
+        for label, workload in WORKLOADS.items():
+            slowdown = system.run(model, workload).total_latency_s / baseline_latency[label]
+            slowdowns["pims"][f"{chips}/{label}"] = slowdown
+            rows.append(["# PIM chips", chips, label, round(slowdown, 2)])
+
+    summ = "summarization-only (256,1)"
+    gen = "generation-dominant (256,512)"
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Fig. 15 - slowdown vs 4 cores / 4 PIM chips, GPT-2 L",
+        headers=["swept parameter", "value", "workload", "slowdown"],
+        rows=rows,
+        paper_claims=[
+            "fewer NPU cores slow both workloads; the summarization-only case suffers more",
+            "fewer PIM chips significantly slow only the generation-dominant case",
+            "results normalised to 4 cores and 4 PIM chips",
+        ],
+        measured_claims=[
+            f"1 core slows summarization-only by {slowdowns['cores'][f'1/{summ}']:.2f}x "
+            f"and generation-dominant by {slowdowns['cores'][f'1/{gen}']:.2f}x",
+            f"1 PIM chip slows summarization-only by {slowdowns['pims'][f'1/{summ}']:.2f}x "
+            f"and generation-dominant by {slowdowns['pims'][f'1/{gen}']:.2f}x",
+        ],
+        data={"slowdowns": slowdowns},
+    )

@@ -1,0 +1,71 @@
+"""Fig. 17 / Table 4 — larger LLMs on multiple IANUS devices vs a single A100.
+
+GPT 6.7B, 13B and 30B do not fit in one device's 8 GB, so two, four and eight
+IANUS devices are used (the smallest power of two whose aggregate capacity
+holds the model).  The paper reports average speedups of 2.4x, 3.4x and 5.3x
+over a single A100 (which has enough capacity for all three models), and
+attributes the gains to the additional effective memory bandwidth contributed
+by each device's PIM.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import arithmetic_mean
+from repro.baselines.gpu import A100Gpu
+from repro.config import SystemConfig
+from repro.core.multi_device import MultiIanusSystem, devices_required
+from repro.experiments.base import ExperimentResult
+from repro.models import LARGE_GPT_CONFIGS, PAPER_SCALABILITY_WORKLOADS
+
+__all__ = ["run"]
+
+PAPER_SPEEDUPS = {"6.7b": 2.4, "13b": 3.4, "30b": 5.3}
+PAPER_DEVICE_COUNTS = {"6.7b": 2, "13b": 4, "30b": 8}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    config = SystemConfig.ianus()
+    gpu = A100Gpu()
+    workloads = PAPER_SCALABILITY_WORKLOADS if not fast else PAPER_SCALABILITY_WORKLOADS[:3]
+
+    rows: list[list] = []
+    avg_speedups: dict[str, float] = {}
+    chosen_devices: dict[str, int] = {}
+    for key, model in LARGE_GPT_CONFIGS.items():
+        devices = devices_required(model, config)
+        chosen_devices[key] = devices
+        cluster = MultiIanusSystem(config, devices)
+        speedups = []
+        for workload in workloads:
+            gpu_ms = gpu.run(model, workload).total_latency_ms
+            ianus_ms = cluster.run(model, workload).total_latency_ms
+            speedups.append(gpu_ms / ianus_ms)
+            rows.append(
+                [model.name, devices, workload.label(), round(gpu_ms, 1),
+                 round(ianus_ms, 1), round(gpu_ms / ianus_ms, 2)]
+            )
+        avg_speedups[key] = arithmetic_mean(speedups)
+        rows.append([model.name, devices, "Avg", "", "", round(avg_speedups[key], 2)])
+
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="Fig. 17 - larger LLMs: multi-IANUS vs a single A100 (latency, ms)",
+        headers=["model", "# IANUS devices", "(input,output)", "GPU ms", "IANUS ms", "speedup"],
+        rows=rows,
+        paper_claims=[
+            "2 / 4 / 8 devices are used for the 6.7B / 13B / 30B models",
+            "average speedups over a single A100: "
+            + ", ".join(f"{k}={v}x" for k, v in PAPER_SPEEDUPS.items()),
+            "the speedup grows with the model because more devices bring more "
+            "effective (PIM) memory bandwidth",
+        ],
+        measured_claims=[
+            "devices selected: "
+            + ", ".join(f"{k}={v}" for k, v in chosen_devices.items()),
+            "average speedups over a single A100: "
+            + ", ".join(f"{k}={v:.1f}x" for k, v in avg_speedups.items()),
+            "speedup grows with the model: "
+            + ("yes" if avg_speedups["6.7b"] <= avg_speedups["13b"] <= avg_speedups["30b"] else "no"),
+        ],
+        data={"average_speedups": avg_speedups, "device_counts": chosen_devices},
+    )

@@ -1,0 +1,66 @@
+"""Sec. 6.3 — functional validation (the FPGA-prototype stand-in).
+
+The paper's prototype connects real GDDR6-AiM chips to an FPGA-based PIM
+controller and shows that pretrained GPT-2 checkpoints reach the expected
+WikiText-2 perplexities (30.92 / 22.60 / 19.39 / 17.48 for Base / M / L / XL),
+i.e. that the PIM dataflow is numerically sound.
+
+Pretrained checkpoints and WikiText-2 are not available offline, so this
+experiment validates the same property on synthetic models: a tiny GPT
+executed through the IANUS functional backend (bank-level tiled PIM GEMV,
+matrix-unit tiles, GELU LUT, BF16) must produce the same logits — and
+therefore the same pseudo-perplexity — as a straightforward FP32 reference
+forward pass.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.functional.verify import compare_backends
+from repro.models.transformer import tiny_gpt
+
+__all__ = ["run"]
+
+PAPER_PERPLEXITIES = {"gpt2-base": 30.92, "gpt2-m": 22.60, "gpt2-l": 19.39, "gpt2-xl": 17.48}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    configs = [
+        ("tiny-2x64", tiny_gpt(embedding_dim=64, head_dim=16, num_heads=4, num_blocks=2)),
+        ("tiny-2x96", tiny_gpt(embedding_dim=96, head_dim=24, num_heads=4, num_blocks=2,
+                               name="gpt-tiny-96")),
+    ]
+    if not fast:
+        configs.append(
+            ("tiny-4x128", tiny_gpt(embedding_dim=128, head_dim=32, num_heads=4,
+                                    num_blocks=4, name="gpt-tiny-128"))
+        )
+
+    rows: list[list] = []
+    max_gap = 0.0
+    for label, model in configs:
+        comparison = compare_backends(model, prompt_length=8, generated_tokens=4)
+        max_gap = max(max_gap, comparison.perplexity_gap / comparison.reference_perplexity)
+        rows.append(
+            [label, round(comparison.reference_perplexity, 2),
+             round(comparison.ianus_perplexity, 2),
+             f"{comparison.perplexity_gap / comparison.reference_perplexity:.3%}",
+             round(comparison.max_relative_error, 4)]
+        )
+
+    return ExperimentResult(
+        experiment_id="prototype",
+        title="Sec. 6.3 - functional validation: IANUS dataflow vs FP32 reference",
+        headers=["model", "reference ppl", "IANUS-dataflow ppl", "ppl gap", "max rel err"],
+        rows=rows,
+        paper_claims=[
+            "the FPGA prototype reaches 30.92 / 22.60 / 19.39 / 17.48 perplexity on "
+            "WikiText-2 for GPT-2 Base / M / L / XL, matching the full-precision models",
+            "(reproduced on synthetic models: pretrained checkpoints are unavailable offline)",
+        ],
+        measured_claims=[
+            f"the BF16 IANUS dataflow matches the FP32 reference perplexity within "
+            f"{max_gap:.2%} on synthetic GPT models",
+        ],
+        data={"max_relative_perplexity_gap": max_gap},
+    )

@@ -1,0 +1,73 @@
+"""Registry of every paper-reproduction experiment.
+
+Maps experiment identifiers (``"fig08"``, ``"table1"``, ...) to their
+``run(fast=True)`` callables.  Used by the benchmark harness, the
+``examples/reproduce_paper.py`` script and the EXPERIMENTS.md generator so
+all three stay in sync with DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    cost_analysis,
+    fig02_gpu_breakdown,
+    fig08_gpt2_latency,
+    fig09_dfx_comparison,
+    fig10_breakdown,
+    fig11_energy,
+    fig12_adaptive_mapping,
+    fig13_memory_systems,
+    fig14_bert,
+    fig15_sensitivity,
+    fig17_scalability,
+    fig18_strong_scaling,
+    prototype_validation,
+    tables,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+#: Experiment id -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "table1": ("IANUS simulation parameters", tables.run_table1),
+    "table2": ("A100 / DFX / IANUS specifications", tables.run_table2),
+    "table3": ("BERT and GPT-2 configurations", tables.run_table3),
+    "table4": ("larger LLM configurations", tables.run_table4),
+    "fig02": ("A100 decoder latency/FLOPs breakdown", fig02_gpu_breakdown.run),
+    "fig08": ("GPT-2 latency, GPU vs IANUS", fig08_gpt2_latency.run),
+    "fig09": ("GPT-2 XL latency, DFX vs NPU-MEM vs IANUS", fig09_dfx_comparison.run),
+    "fig10": ("generation-stage latency breakdown", fig10_breakdown.run),
+    "fig11": ("dynamic energy, NPU-MEM vs IANUS", fig11_energy.run),
+    "fig12": ("adaptive FC mapping (Algorithm 1)", fig12_adaptive_mapping.run),
+    "fig13": ("unified vs partitioned memory and scheduling", fig13_memory_systems.run),
+    "fig14": ("BERT throughput and utilisation", fig14_bert.run),
+    "fig15": ("sensitivity to cores and PIM chips", fig15_sensitivity.run),
+    "fig17": ("larger LLMs on multiple IANUS devices", fig17_scalability.run),
+    "fig18": ("strong scaling on GPT 6.7B", fig18_strong_scaling.run),
+    "cost": ("performance/TDP cost analysis", cost_analysis.run),
+    "prototype": ("functional validation (FPGA-prototype stand-in)", prototype_validation.run),
+    "ablation-overlap": ("scheduling overlap ablation", ablations.run_overlap_ablation),
+    "ablation-address-mapping": (
+        "PIM address-mapping ablation", ablations.run_address_mapping_ablation
+    ),
+    "ablation-fast-mode": ("fast vs exact generation simulation", ablations.run_fast_vs_exact),
+}
+
+
+def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    _, runner = EXPERIMENTS[experiment_id]
+    return runner(fast=fast)
+
+
+def run_all(fast: bool = True) -> dict[str, ExperimentResult]:
+    """Run every registered experiment (used to regenerate EXPERIMENTS.md)."""
+    return {experiment_id: run_experiment(experiment_id, fast=fast) for experiment_id in EXPERIMENTS}

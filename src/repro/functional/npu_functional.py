@@ -1,0 +1,115 @@
+"""Functional model of the NPU compute units.
+
+These routines compute the same values the timing models charge time for:
+
+* the matrix unit executes matmuls in 128x64 tiles with FP32 accumulation and
+  BF16 operands, including the fused output scaling / bias addition mentioned
+  in Sec. 4.1;
+* the vector unit implements two-phase layer normalisation, masked softmax
+  with max-subtraction, residual addition, and GELU through the same lookup
+  table the PIM uses;
+* the on-chip transpose reproduces the AM->WM streaming-buffer path (it is a
+  pure data-movement operation, so functionally it is just a transpose).
+
+They are used by :mod:`repro.functional.verify` to show that the IANUS
+dataflow is numerically equivalent to the reference transformer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MatrixUnitConfig
+from repro.functional.tensors import to_bf16
+from repro.pim.processing_unit import gelu_lookup_table, gelu_via_lut
+
+__all__ = ["MatrixUnitFunctional", "VectorUnitFunctional", "onchip_transpose"]
+
+
+class MatrixUnitFunctional:
+    """Tile-by-tile systolic-array matmul with BF16 operands."""
+
+    def __init__(self, config: MatrixUnitConfig | None = None) -> None:
+        self.config = config or MatrixUnitConfig()
+
+    def matmul(self, activations: np.ndarray, weights: np.ndarray,
+               bias: np.ndarray | None = None, scale: float = 1.0) -> np.ndarray:
+        """Compute ``activations @ weights * scale + bias`` in MU tiles.
+
+        ``activations`` is ``[n, d_in]`` (AM layout) and ``weights`` is
+        ``[d_in, d_out]`` (WM layout).  The loop structure mirrors the tiling
+        the timing model charges for: 128-token row tiles and 64-feature
+        column tiles, streaming the reduction dimension.
+        """
+        activations = to_bf16(activations)
+        weights = to_bf16(weights)
+        n, d_in = activations.shape
+        d_in_w, d_out = weights.shape
+        if d_in != d_in_w:
+            raise ValueError(f"dimension mismatch: {d_in} vs {d_in_w}")
+        output = np.zeros((n, d_out), dtype=np.float32)
+        rows, cols = self.config.rows, self.config.cols
+        for row_start in range(0, n, rows):
+            row_end = min(row_start + rows, n)
+            for col_start in range(0, d_out, cols):
+                col_end = min(col_start + cols, d_out)
+                tile = (
+                    activations[row_start:row_end].astype(np.float32)
+                    @ weights[:, col_start:col_end].astype(np.float32)
+                )
+                output[row_start:row_end, col_start:col_end] = tile
+        if scale != 1.0:
+            output *= scale
+        if bias is not None:
+            output += to_bf16(bias).astype(np.float32)
+        return to_bf16(output)
+
+
+class VectorUnitFunctional:
+    """Functional implementations of the VU kernels."""
+
+    def __init__(self) -> None:
+        self._gelu_table = gelu_lookup_table()
+
+    def layer_norm(self, x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                   eps: float = 1e-5) -> np.ndarray:
+        """Two-phase layer normalisation (Sec. 4.2.2)."""
+        x = to_bf16(x).astype(np.float32)
+        # Phase 1: statistics.
+        mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        # Phase 2: normalisation.
+        normalised = (x - mean) / np.sqrt(variance + eps)
+        return to_bf16(normalised * gamma + beta)
+
+    def masked_softmax(self, scores: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Masked softmax with max-subtraction for stability (Sec. 4.2.2).
+
+        ``mask`` is a boolean bitmap (True = attend); masked positions receive
+        a large negative score before the exponentiation.
+        """
+        scores = to_bf16(scores).astype(np.float32)
+        if mask is not None:
+            scores = np.where(mask, scores, np.float32(-1e9))
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return to_bf16(exp / exp.sum(axis=-1, keepdims=True))
+
+    def gelu(self, x: np.ndarray) -> np.ndarray:
+        """GELU via the shared lookup table with linear interpolation."""
+        return to_bf16(gelu_via_lut(to_bf16(x), self._gelu_table))
+
+    def residual_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return to_bf16(to_bf16(a).astype(np.float32) + to_bf16(b).astype(np.float32))
+
+    def concat(self, previous: np.ndarray | None, new: np.ndarray) -> np.ndarray:
+        """Key/value concatenation performed in the vector unit (Fig. 7c)."""
+        new = to_bf16(new)
+        if previous is None or previous.size == 0:
+            return new
+        return np.concatenate([to_bf16(previous), new], axis=0)
+
+
+def onchip_transpose(matrix: np.ndarray) -> np.ndarray:
+    """Key transpose through the streaming buffer (pure data movement)."""
+    return np.ascontiguousarray(to_bf16(matrix).T)

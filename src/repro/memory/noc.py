@@ -1,0 +1,73 @@
+"""Network-on-chip between NPU cores and PIM memory controllers.
+
+The NoC provides all-to-all connectivity so every core can reach every memory
+channel (required once the PIM is the NPU's main memory), carries normal
+memory traffic as well as PIM command traffic, and supports broadcasting PIM
+commands to all PIM memory controllers to keep command bandwidth low while
+all channels compute in parallel (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NocConfig
+
+__all__ = ["NocModel", "NocTransferEstimate"]
+
+
+@dataclass(frozen=True)
+class NocTransferEstimate:
+    seconds: float
+    bytes_moved: int
+    messages: int
+
+
+class NocModel:
+    """Latency/bandwidth model of the all-to-all NoC."""
+
+    def __init__(self, config: NocConfig, num_cores: int, num_controllers: int) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self.num_controllers = num_controllers
+
+    # ------------------------------------------------------------------
+    def data_transfer_time(self, num_bytes: int) -> float:
+        """Core <-> memory-controller data transfer latency contribution.
+
+        The per-link bandwidth is sized above one channel's external
+        bandwidth, so for streaming transfers the NoC adds only its hop
+        latency; the channel bandwidth remains the bottleneck (modelled by
+        the DMA/memory side).
+        """
+        if num_bytes <= 0:
+            return 0.0
+        serialisation = num_bytes / self.config.link_bandwidth
+        return self.config.hop_latency_s + serialisation
+
+    def command_broadcast_time(self, num_micro_commands: int) -> float:
+        """Broadcast of a macro command's micro commands to all PIM MCs.
+
+        With broadcast support a single message per micro command reaches all
+        controllers; without it, the message is replicated per controller.
+        """
+        messages = num_micro_commands
+        if not self.config.supports_broadcast:
+            messages *= self.num_controllers
+        bytes_moved = messages * self.config.command_bytes
+        return self.config.hop_latency_s + bytes_moved / self.config.link_bandwidth
+
+    def estimate_broadcast(self, num_micro_commands: int) -> NocTransferEstimate:
+        messages = num_micro_commands * (
+            1 if self.config.supports_broadcast else self.num_controllers
+        )
+        return NocTransferEstimate(
+            seconds=self.command_broadcast_time(num_micro_commands),
+            bytes_moved=messages * self.config.command_bytes,
+            messages=messages,
+        )
+
+    def bisection_bandwidth(self) -> float:
+        """Aggregate bandwidth across the bisection of the all-to-all NoC."""
+        links = max(1, (self.num_cores * self.num_controllers) // 2)
+        return links * self.config.link_bandwidth

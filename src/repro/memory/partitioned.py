@@ -1,0 +1,88 @@
+"""Partitioned main-memory organisation (the baseline of Fig. 13).
+
+Systems that pair a host (CPU/GPU/NPU) with commercial PIM traditionally
+dedicate part of main memory to the PIM accelerator and the rest to the host.
+For LLMs this is wasteful because the FC parameters — about 91% of GPT-2 —
+are needed by both sides and must be duplicated to avoid data movement.
+
+The partitioned configuration evaluated in the paper keeps the total capacity
+at 8 GB (4 GB of plain DRAM for the NPU plus 4 GB of PIM), duplicates as many
+FC parameters as fit, and executes the FCs whose parameters could not be
+duplicated on the matrix unit, moving them from the PIM region when needed.
+Normal accesses and PIM computation *can* overlap (they target different
+devices), but only half of the PIM compute throughput is available.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.models.transformer import ModelConfig
+from repro.memory.unified import MemoryCapacityError, MemoryPlacement
+
+__all__ = ["PartitionedMemorySystem"]
+
+
+class PartitionedMemorySystem:
+    """Capacity accounting and concurrency rules of the partitioned organisation."""
+
+    #: Normal accesses and PIM computation target different devices.
+    allows_concurrent_pim_and_dma = True
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    @property
+    def npu_region_bytes(self) -> int:
+        return self.config.pim.capacity_bytes // 2
+
+    @property
+    def pim_region_bytes(self) -> int:
+        return self.config.pim.capacity_bytes // 2
+
+    @property
+    def pim_compute_channels(self) -> int:
+        """Only the PIM-region channels contribute compute throughput."""
+        return self.config.pim_compute_channels
+
+    def place(self, model: ModelConfig, max_sequence_length: int) -> MemoryPlacement:
+        """Compute the duplicated / non-duplicated split of the FC parameters.
+
+        Non-FC data (embeddings, norms, KV cache) lives in the NPU region;
+        FC parameters live in the PIM region and are duplicated into the NPU
+        region as capacity allows (the paper duplicates everything for
+        GPT-2 M/L/XL; for 2.5B the parameters no longer fit twice).
+        """
+        fc_bytes = model.fc_param_bytes
+        other = (
+            model.param_bytes
+            - model.num_blocks * model.fc_params_per_block * 2
+            + model.kv_cache_bytes(max_sequence_length)
+        )
+        # FC parameters live in the PIM region; whatever exceeds it spills to
+        # the NPU region (where it is not PIM-computable).
+        fc_in_pim = min(fc_bytes, self.pim_region_bytes)
+        fc_spill = fc_bytes - fc_in_pim
+        npu_free_for_duplicates = self.npu_region_bytes - other - fc_spill
+        if npu_free_for_duplicates < 0:
+            raise MemoryCapacityError(
+                f"{model.name}: model data does not fit in the partitioned "
+                f"organisation ({self.config.pim.capacity_bytes / 2**30:.0f} GiB total)"
+            )
+        duplicated = min(fc_in_pim, npu_free_for_duplicates)
+        non_duplicated = fc_bytes - duplicated
+        total = fc_bytes + duplicated + other
+        return MemoryPlacement(
+            shared_fc_bytes=0,
+            duplicated_fc_bytes=duplicated,
+            non_duplicated_fc_bytes=non_duplicated,
+            other_bytes=other,
+            total_bytes=total,
+            capacity_bytes=self.config.pim.capacity_bytes,
+        )
+
+    def non_duplicated_fraction(self, model: ModelConfig, max_sequence_length: int) -> float:
+        """Fraction of FC bytes that could not be duplicated (0 when all fit)."""
+        placement = self.place(model, max_sequence_length)
+        if model.fc_param_bytes == 0:
+            return 0.0
+        return placement.non_duplicated_fc_bytes / model.fc_param_bytes

@@ -1,0 +1,170 @@
+"""Analytical FLOP and byte accounting for transformer inference.
+
+These helpers are used in three places:
+
+* the adaptive FC mapping algorithm (Algorithm 1) needs FLOPs/bytes per FC;
+* the GPU and DFX baselines are roofline models driven by per-operator FLOPs
+  and bytes;
+* the throughput/utilisation metrics of Fig. 14 divide end-to-end FLOPs by
+  measured latency.
+
+Conventions: a matrix multiplication of an ``[n, k]`` activation with a
+``[k, m]`` weight costs ``2*n*k*m`` FLOPs; element-wise/vector operators cost
+a small constant number of FLOPs per element (the paper notes they are less
+than 0.06% of total FLOPs but a sizeable latency fraction, Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BYTES_PER_ELEMENT
+from repro.models.transformer import ModelConfig
+from repro.models.workload import Stage, StagePass, Workload
+
+__all__ = [
+    "fc_flops",
+    "fc_weight_bytes",
+    "fc_activation_bytes",
+    "attention_score_flops",
+    "attention_context_flops",
+    "softmax_flops",
+    "layernorm_flops",
+    "gelu_flops",
+    "residual_add_flops",
+    "BlockFlops",
+    "block_flops",
+    "stage_flops",
+    "workload_flops",
+    "FLOPS_PER_SOFTMAX_ELEMENT",
+    "FLOPS_PER_LAYERNORM_ELEMENT",
+    "FLOPS_PER_GELU_ELEMENT",
+]
+
+#: Exponentiate, subtract max, accumulate, divide — per score element.
+FLOPS_PER_SOFTMAX_ELEMENT = 5
+#: Two reduction passes plus the normalisation itself — per element.
+FLOPS_PER_LAYERNORM_ELEMENT = 7
+#: LUT lookup plus linear interpolation — per element.
+FLOPS_PER_GELU_ELEMENT = 4
+
+
+def fc_flops(num_tokens: int, d_in: int, d_out: int) -> float:
+    """FLOPs of a fully-connected layer applied to ``num_tokens`` tokens."""
+    return 2.0 * num_tokens * d_in * d_out
+
+
+def fc_weight_bytes(d_in: int, d_out: int) -> int:
+    """Weight bytes that must be read for one FC layer."""
+    return d_in * d_out * BYTES_PER_ELEMENT
+
+
+def fc_activation_bytes(num_tokens: int, d_in: int, d_out: int) -> int:
+    """Activation bytes read and written by one FC layer."""
+    return num_tokens * (d_in + d_out) * BYTES_PER_ELEMENT
+
+
+def attention_score_flops(num_tokens: int, kv_length: int, head_dim: int) -> float:
+    """FLOPs of the QK^T product for one attention head."""
+    return 2.0 * num_tokens * kv_length * head_dim
+
+
+def attention_context_flops(num_tokens: int, kv_length: int, head_dim: int) -> float:
+    """FLOPs of the SV product for one attention head."""
+    return 2.0 * num_tokens * kv_length * head_dim
+
+
+def softmax_flops(num_tokens: int, kv_length: int) -> float:
+    return FLOPS_PER_SOFTMAX_ELEMENT * num_tokens * kv_length
+
+
+def layernorm_flops(num_tokens: int, dim: int) -> float:
+    return FLOPS_PER_LAYERNORM_ELEMENT * num_tokens * dim
+
+
+def gelu_flops(num_tokens: int, dim: int) -> float:
+    return FLOPS_PER_GELU_ELEMENT * num_tokens * dim
+
+
+def residual_add_flops(num_tokens: int, dim: int) -> float:
+    return float(num_tokens * dim)
+
+
+@dataclass(frozen=True)
+class BlockFlops:
+    """FLOP breakdown of one transformer block for one pass."""
+
+    qkv: float
+    attention_scores: float
+    attention_context: float
+    attention_output: float
+    ffn: float
+    softmax: float
+    layernorm: float
+    gelu: float
+    residual: float
+
+    @property
+    def fc_total(self) -> float:
+        """FLOPs executed by fully-connected layers (matrix-unit or PIM)."""
+        return self.qkv + self.attention_output + self.ffn
+
+    @property
+    def attention_total(self) -> float:
+        return self.attention_scores + self.attention_context + self.softmax
+
+    @property
+    def vector_total(self) -> float:
+        return self.layernorm + self.gelu + self.residual
+
+    @property
+    def total(self) -> float:
+        return self.fc_total + self.attention_total + self.vector_total
+
+
+def block_flops(model: ModelConfig, num_tokens: int, kv_length: int) -> BlockFlops:
+    """FLOP breakdown of one block processing ``num_tokens`` new tokens."""
+    d = model.embedding_dim
+    d_ff = model.ffn_dim
+    h = model.num_heads
+    hd = model.head_dim
+    return BlockFlops(
+        qkv=fc_flops(num_tokens, d, 3 * d),
+        attention_scores=h * attention_score_flops(num_tokens, kv_length, hd),
+        attention_context=h * attention_context_flops(num_tokens, kv_length, hd),
+        attention_output=fc_flops(num_tokens, d, d),
+        ffn=fc_flops(num_tokens, d, d_ff) + fc_flops(num_tokens, d_ff, d),
+        softmax=h * softmax_flops(num_tokens, kv_length),
+        layernorm=2 * layernorm_flops(num_tokens, d),
+        gelu=gelu_flops(num_tokens, d_ff),
+        residual=2 * residual_add_flops(num_tokens, d),
+    )
+
+
+def lm_head_flops(model: ModelConfig, num_tokens: int = 1) -> float:
+    """FLOPs of the LM head (only the last token needs logits)."""
+    return fc_flops(num_tokens, model.embedding_dim, model.vocab_size)
+
+
+def stage_flops(model: ModelConfig, stage_pass: StagePass) -> float:
+    """Total model FLOPs for one pass (all blocks plus the LM head)."""
+    per_block = block_flops(model, stage_pass.num_tokens, stage_pass.kv_length)
+    total = model.num_blocks * per_block.total
+    if model.is_decoder:
+        total += lm_head_flops(model)
+    return total
+
+
+def workload_flops(model: ModelConfig, workload: Workload) -> float:
+    """Total FLOPs of an end-to-end inference request."""
+    return sum(stage_flops(model, p) for p in workload.stages())
+
+
+def stage_weight_bytes(model: ModelConfig, stage: Stage) -> int:
+    """Weight bytes that one full pass must read (all blocks + LM head)."""
+    per_block = model.fc_params_per_block * BYTES_PER_ELEMENT
+    total = model.num_blocks * per_block
+    if model.is_decoder:
+        total += model.lm_head_params * BYTES_PER_ELEMENT
+    del stage  # the same weights are read in both stages
+    return total

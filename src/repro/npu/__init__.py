@@ -1,0 +1,26 @@
+"""NPU substrate: matrix unit, vector unit, scratch-pads, DMA, scheduler."""
+
+from repro.npu.core import NpuCoreModel
+from repro.npu.dma import DmaModel
+from repro.npu.matrix_unit import MatrixUnitEstimate, MatrixUnitModel
+from repro.npu.scheduler import CommandSchedulerState, SchedulerFullError
+from repro.npu.scratchpad import (
+    ScratchpadAllocation,
+    ScratchpadAllocator,
+    ScratchpadOverflowError,
+)
+from repro.npu.vector_unit import VectorUnitEstimate, VectorUnitModel
+
+__all__ = [
+    "NpuCoreModel",
+    "DmaModel",
+    "MatrixUnitEstimate",
+    "MatrixUnitModel",
+    "CommandSchedulerState",
+    "SchedulerFullError",
+    "ScratchpadAllocation",
+    "ScratchpadAllocator",
+    "ScratchpadOverflowError",
+    "VectorUnitEstimate",
+    "VectorUnitModel",
+]

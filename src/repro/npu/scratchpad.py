@@ -1,0 +1,130 @@
+"""Scratch-pad memories of an NPU core.
+
+Each core has an activation scratch-pad (AM) and a weight scratch-pad (WM)
+feeding the compute units (Sec. 4.1).  Their capacities bound how large a
+weight tile or activation working set can be resident on chip, and their
+different entry sizes (the AM entry is twice the WM entry) are why the
+on-chip key transpose needs the streaming buffer between the two DMAs
+(Sec. 4.2.1).
+
+This module provides a simple region allocator used by the compiler to check
+that the working set of a block fits on chip and to decide how many weight
+tiles can be double-buffered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ScratchpadConfig
+
+__all__ = ["ScratchpadAllocator", "ScratchpadAllocation", "ScratchpadOverflowError"]
+
+
+class ScratchpadOverflowError(RuntimeError):
+    """Raised when an allocation does not fit in the scratch-pad."""
+
+
+@dataclass(frozen=True)
+class ScratchpadAllocation:
+    """A named region of a scratch-pad."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class _Region:
+    """Bump allocator for one scratch-pad."""
+
+    def __init__(self, label: str, capacity: int, entry_bytes: int) -> None:
+        self.label = label
+        self.capacity = capacity
+        self.entry_bytes = entry_bytes
+        self._cursor = 0
+        self._allocations: dict[str, ScratchpadAllocation] = {}
+
+    def _align(self, size: int) -> int:
+        entries = -(-size // self.entry_bytes)
+        return entries * self.entry_bytes
+
+    def allocate(self, name: str, size: int) -> ScratchpadAllocation:
+        aligned = self._align(size)
+        if self._cursor + aligned > self.capacity:
+            raise ScratchpadOverflowError(
+                f"{self.label}: cannot allocate {aligned} bytes for {name!r} "
+                f"({self.capacity - self._cursor} bytes free of {self.capacity})"
+            )
+        allocation = ScratchpadAllocation(name=name, offset=self._cursor, size=aligned)
+        self._cursor += aligned
+        self._allocations[name] = allocation
+        return allocation
+
+    def free_all(self) -> None:
+        self._cursor = 0
+        self._allocations.clear()
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._cursor
+
+    def get(self, name: str) -> ScratchpadAllocation:
+        return self._allocations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocations
+
+
+class ScratchpadAllocator:
+    """Allocator over the activation and weight scratch-pads of one core."""
+
+    def __init__(self, config: ScratchpadConfig) -> None:
+        self.config = config
+        self.activation = _Region(
+            "activation scratch-pad", config.activation_bytes, config.activation_entry_bytes
+        )
+        self.weight = _Region(
+            "weight scratch-pad", config.weight_bytes, config.weight_entry_bytes
+        )
+
+    # ------------------------------------------------------------------
+    def allocate_activation(self, name: str, size: int) -> ScratchpadAllocation:
+        return self.activation.allocate(name, size)
+
+    def allocate_weight(self, name: str, size: int) -> ScratchpadAllocation:
+        return self.weight.allocate(name, size)
+
+    def reset(self) -> None:
+        """Free both scratch-pads (between blocks)."""
+        self.activation.free_all()
+        self.weight.free_all()
+
+    # ------------------------------------------------------------------
+    def fits_weight(self, size: int) -> bool:
+        return size <= self.weight.free
+
+    def fits_activation(self, size: int) -> bool:
+        return size <= self.activation.free
+
+    def max_weight_tile_bytes(self, double_buffered: bool = True) -> int:
+        """Largest weight tile that can be (double-)buffered in the WM.
+
+        Double buffering is what allows the next attention head's weights to
+        be prefetched while the current head computes (Fig. 7, step 4).
+        """
+        capacity = self.config.weight_bytes
+        return capacity // 2 if double_buffered else capacity
+
+    def utilization(self) -> dict[str, float]:
+        return {
+            "activation": self.activation.used / self.config.activation_bytes,
+            "weight": self.weight.used / self.config.weight_bytes,
+        }

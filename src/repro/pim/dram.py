@@ -1,0 +1,145 @@
+"""GDDR6 bank state machine with timing-constraint enforcement.
+
+The PIM memory controller of IANUS tracks the state of every memory bank and
+issues commands only when the GDDR6 timing constraints (Table 1) and the
+additional PIM states are satisfied (Sec. 4.3).  This module implements that
+bank model: a small state machine (idle / active / precharging) plus the
+earliest-issue times implied by tRCD, tRAS, tRP, tWR and tCCD.
+
+Times are kept in nanoseconds to match the published parameters; the
+higher-level models convert to seconds at their boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.config import DramTimingConfig
+
+__all__ = ["BankState", "DramBank", "DramTimingError", "DramChannelState"]
+
+
+class DramTimingError(RuntimeError):
+    """Raised when a command is issued in violation of a timing constraint."""
+
+
+class BankState(str, Enum):
+    IDLE = "idle"
+    ACTIVE = "active"
+
+
+@dataclass
+class DramBank:
+    """State of one DRAM bank.
+
+    The bank tracks the currently open row and the earliest times at which a
+    subsequent activate, read/write (or PIM MAC, which behaves like a stream
+    of column reads issued to the bank's processing unit), or precharge may be
+    issued.
+    """
+
+    timing: DramTimingConfig
+    state: BankState = BankState.IDLE
+    open_row: int | None = None
+    #: Earliest time (ns) an ACT command may be issued.
+    next_activate_ns: float = 0.0
+    #: Earliest time (ns) a column command (read/write/MAC) may be issued.
+    next_column_ns: float = 0.0
+    #: Earliest time (ns) a PRE command may be issued.
+    next_precharge_ns: float = 0.0
+    #: Statistics.
+    activations: int = 0
+    column_accesses: int = 0
+
+    # ------------------------------------------------------------------
+    def activate(self, row: int, now_ns: float) -> float:
+        """Issue ACT for ``row``; returns the time the row becomes usable."""
+        if self.state is BankState.ACTIVE:
+            raise DramTimingError("activate issued to an already-active bank")
+        issue = max(now_ns, self.next_activate_ns)
+        ready = issue + self.timing.tRCD_RD
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.next_column_ns = ready
+        self.next_precharge_ns = issue + self.timing.tRAS
+        self.activations += 1
+        return ready
+
+    def column_access(self, now_ns: float, is_write: bool = False, count: int = 1) -> float:
+        """Issue ``count`` back-to-back column commands; returns completion time."""
+        if self.state is not BankState.ACTIVE:
+            raise DramTimingError("column access issued to an idle bank")
+        issue = max(now_ns, self.next_column_ns)
+        duration = count * self.timing.tCCD_L
+        done = issue + duration
+        self.next_column_ns = done
+        if is_write:
+            # Writes must respect write recovery before precharge.
+            self.next_precharge_ns = max(self.next_precharge_ns, done + self.timing.tWR)
+        else:
+            self.next_precharge_ns = max(self.next_precharge_ns, done)
+        self.column_accesses += count
+        return done
+
+    def precharge(self, now_ns: float) -> float:
+        """Issue PRE; returns the time the bank returns to idle."""
+        if self.state is not BankState.ACTIVE:
+            raise DramTimingError("precharge issued to an idle bank")
+        issue = max(now_ns, self.next_precharge_ns)
+        done = issue + self.timing.tRP
+        self.state = BankState.IDLE
+        self.open_row = None
+        self.next_activate_ns = done
+        return done
+
+    # ------------------------------------------------------------------
+    def access_row(self, row: int, now_ns: float, column_commands: int, is_write: bool = False) -> float:
+        """Convenience: open ``row`` (closing the current one if needed),
+        perform ``column_commands`` column accesses, and return the finish time.
+
+        The row is left open (open-page policy), matching how consecutive PIM
+        MAC commands to the same tile avoid repeated activations.
+        """
+        t = now_ns
+        if self.state is BankState.ACTIVE and self.open_row != row:
+            t = self.precharge(t)
+        if self.state is BankState.IDLE:
+            t = self.activate(row, t)
+        return self.column_access(t, is_write=is_write, count=column_commands)
+
+
+@dataclass
+class DramChannelState:
+    """All banks of one channel (used by the PIM memory controller)."""
+
+    timing: DramTimingConfig
+    num_banks: int
+    banks: list[DramBank] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            self.banks = [DramBank(self.timing) for _ in range(self.num_banks)]
+
+    def bank(self, index: int) -> DramBank:
+        return self.banks[index]
+
+    def all_banks_access_row(
+        self, row: int, now_ns: float, column_commands: int, is_write: bool = False
+    ) -> float:
+        """Issue the same row access to every bank (all-bank PIM operation).
+
+        GDDR6-AiM exploits true all-bank parallelism (Sec. 4.1): every bank
+        activates the same row address and streams its columns to its own
+        processing unit.  Returns the time the slowest bank finishes.
+        """
+        return max(
+            bank.access_row(row, now_ns, column_commands, is_write=is_write)
+            for bank in self.banks
+        )
+
+    def total_activations(self) -> int:
+        return sum(bank.activations for bank in self.banks)
+
+    def total_column_accesses(self) -> int:
+        return sum(bank.column_accesses for bank in self.banks)

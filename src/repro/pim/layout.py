@@ -1,0 +1,215 @@
+"""Whole-model weight placement in the PIM address space.
+
+The address mapping of Fig. 5 and the tiling of Fig. 4 describe where *one*
+weight matrix lives; a real deployment has to place every FC layer of every
+block (plus the LM head, embeddings and the KV-cache region) into the 8 GB of
+GDDR6-AiM without overlaps.  :class:`PimLayoutPlanner` performs that
+placement: it walks the model, assigns each column-partitioned FC a
+contiguous range of DRAM row addresses (so a macro GEMV touches consecutive
+rows and never conflicts with another layer), packs the head-wise partitioned
+Q/K/V weights per chip, reserves space for embeddings and the KV cache, and
+reports the capacity utilisation — including the padding overhead paid by
+models whose dimensions do not fill 2 KB rows.
+
+The planner is used by the capacity checks of :class:`repro.core.IanusSystem`
+indirectly (same arithmetic) and directly by tests and examples that want to
+see the concrete layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import BYTES_PER_ELEMENT, PimConfig
+from repro.models.transformer import ModelConfig
+from repro.pim.address_mapping import TileMapping
+
+__all__ = ["WeightRegion", "ModelLayout", "PimLayoutPlanner", "LayoutError"]
+
+
+class LayoutError(RuntimeError):
+    """Raised when a model cannot be placed in the PIM address space."""
+
+
+@dataclass(frozen=True)
+class WeightRegion:
+    """One weight matrix placed into a contiguous range of DRAM rows."""
+
+    name: str
+    out_features: int
+    in_features: int
+    #: First DRAM row address used by this region's tiles.
+    first_row: int
+    #: Number of DRAM row addresses occupied (one per tile).
+    num_rows: int
+    #: Bytes of useful weight data.
+    weight_bytes: int
+    #: Bytes of DRAM actually reserved (tiles are padded to full rows).
+    reserved_bytes: int
+    #: Whether the matrix is head-wise partitioned (single chip) or spread
+    #: over all channels.
+    head_wise: bool = False
+
+    @property
+    def last_row(self) -> int:
+        return self.first_row + self.num_rows - 1
+
+    @property
+    def padding_fraction(self) -> float:
+        if self.reserved_bytes == 0:
+            return 0.0
+        return 1.0 - self.weight_bytes / self.reserved_bytes
+
+
+@dataclass
+class ModelLayout:
+    """Complete placement of one model into the PIM address space."""
+
+    model: ModelConfig
+    config: PimConfig
+    regions: list[WeightRegion] = field(default_factory=list)
+    embedding_bytes: int = 0
+    kv_cache_bytes: int = 0
+    kv_cache_rows: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def weight_bytes(self) -> int:
+        return sum(region.weight_bytes for region in self.regions)
+
+    @property
+    def reserved_weight_bytes(self) -> int:
+        return sum(region.reserved_bytes for region in self.regions)
+
+    @property
+    def total_reserved_bytes(self) -> int:
+        return self.reserved_weight_bytes + self.embedding_bytes + self.kv_cache_bytes
+
+    @property
+    def total_rows(self) -> int:
+        return sum(region.num_rows for region in self.regions) + self.kv_cache_rows
+
+    @property
+    def capacity_utilization(self) -> float:
+        """Fraction of the device capacity reserved by this layout."""
+        return self.total_reserved_bytes / self.config.capacity_bytes
+
+    @property
+    def padding_overhead(self) -> float:
+        """Fraction of reserved weight storage that is padding."""
+        if self.reserved_weight_bytes == 0:
+            return 0.0
+        return 1.0 - self.weight_bytes / self.reserved_weight_bytes
+
+    def region(self, name: str) -> WeightRegion:
+        for candidate in self.regions:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no region named {name!r}")
+
+    def regions_for_block(self, block_index: int) -> list[WeightRegion]:
+        prefix = f"block{block_index}/"
+        return [region for region in self.regions if region.name.startswith(prefix)]
+
+    def row_ranges_disjoint(self) -> bool:
+        """True when no two regions share a DRAM row address."""
+        spans = sorted((r.first_row, r.last_row) for r in self.regions if r.num_rows)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            if start <= end:
+                return False
+        return True
+
+    def summary(self) -> str:
+        return (
+            f"{self.model.name}: {len(self.regions)} weight regions, "
+            f"{self.total_rows} DRAM rows, "
+            f"{self.total_reserved_bytes / 2**30:.2f} GiB reserved "
+            f"({self.capacity_utilization:.1%} of capacity, "
+            f"{self.padding_overhead:.1%} padding)"
+        )
+
+
+class PimLayoutPlanner:
+    """Places a model's weights and KV cache into the PIM address space."""
+
+    def __init__(self, config: PimConfig | None = None, max_sequence_length: int = 1024) -> None:
+        self.config = config or PimConfig()
+        self.max_sequence_length = max_sequence_length
+
+    # ------------------------------------------------------------------
+    def plan(self, model: ModelConfig) -> ModelLayout:
+        """Compute the full layout; raises :class:`LayoutError` if it cannot fit."""
+        layout = ModelLayout(model=model, config=self.config)
+        next_row = 0
+
+        for block in range(model.num_blocks):
+            # Head-wise partitioned Q/K/V projections: each head's weights go
+            # to the chip that computes it, but they still occupy row
+            # addresses of the shared address space.
+            for which in ("w_q", "w_k", "w_v"):
+                next_row = self._place(
+                    layout, f"block{block}/{which}", model.embedding_dim,
+                    model.embedding_dim, next_row, head_wise=True,
+                )
+            next_row = self._place(
+                layout, f"block{block}/w_o", model.embedding_dim,
+                model.embedding_dim, next_row,
+            )
+            next_row = self._place(
+                layout, f"block{block}/w_ffn1", model.ffn_dim,
+                model.embedding_dim, next_row,
+            )
+            next_row = self._place(
+                layout, f"block{block}/w_ffn2", model.embedding_dim,
+                model.ffn_dim, next_row,
+            )
+
+        if model.is_decoder:
+            next_row = self._place(
+                layout, "lm_head", model.vocab_size, model.embedding_dim, next_row,
+            )
+
+        layout.embedding_bytes = model.embedding_params * BYTES_PER_ELEMENT
+        layout.kv_cache_bytes = model.kv_cache_bytes(self.max_sequence_length)
+        layout.kv_cache_rows = -(-layout.kv_cache_bytes // (
+            self.config.row_bytes * self.config.banks_per_channel * self.config.channels
+        ))
+
+        if layout.total_reserved_bytes > self.config.capacity_bytes:
+            raise LayoutError(
+                f"{model.name} needs {layout.total_reserved_bytes / 2**30:.2f} GiB "
+                f"but the PIM provides {self.config.capacity_bytes / 2**30:.2f} GiB"
+            )
+        return layout
+
+    def fits(self, model: ModelConfig) -> bool:
+        """True when the model (plus KV-cache budget) fits in one device."""
+        try:
+            self.plan(model)
+        except LayoutError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _place(
+        self,
+        layout: ModelLayout,
+        name: str,
+        out_features: int,
+        in_features: int,
+        next_row: int,
+        head_wise: bool = False,
+    ) -> int:
+        mapping = TileMapping(self.config, out_features, in_features)
+        region = WeightRegion(
+            name=name,
+            out_features=out_features,
+            in_features=in_features,
+            first_row=next_row,
+            num_rows=mapping.num_tiles,
+            weight_bytes=mapping.weight_bytes(),
+            reserved_bytes=mapping.storage_bytes(),
+            head_wise=head_wise,
+        )
+        layout.regions.append(region)
+        return next_row + mapping.num_tiles

@@ -1,0 +1,149 @@
+"""Device-level PIM timing model.
+
+:class:`PimDeviceModel` answers the question the compiler and the event
+engine ask: *how long does one macro PIM operation take, and what DRAM
+activity does it generate?*  It decodes the macro command with the PIM
+control unit, runs the resulting micro program through the memory-controller
+timing model, and caches results keyed by the operation's dimensions (the
+same GEMV shape repeats for every block and every token, so caching makes
+full parameter sweeps fast without changing any result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.config import BYTES_PER_ELEMENT, PimConfig
+from repro.pim.commands import MacroKind, MacroPimCommand
+from repro.pim.controller import PimMemoryController
+from repro.pim.pcu import PimControlUnit
+
+__all__ = ["PimDeviceModel", "PimOperationEstimate"]
+
+
+@dataclass(frozen=True)
+class PimOperationEstimate:
+    """Timing and activity estimate of one macro PIM operation."""
+
+    seconds: float
+    weight_bytes: int
+    row_activations: int
+    mac_column_commands: int
+    bus_bytes: int
+    tiles: int
+    channels: int
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Weight bytes streamed per second (the PIM's effective bandwidth)."""
+        return self.weight_bytes / self.seconds if self.seconds > 0 else 0.0
+
+
+class PimDeviceModel:
+    """Timing model of the PIM memory system used for compute.
+
+    Parameters
+    ----------
+    config:
+        The PIM configuration (Table 1).
+    compute_channels:
+        Channels whose processing units participate in PIM compute.  The
+        unified memory system uses all eight channels; the partitioned
+        organisation of Fig. 13 and the Fig. 15 sensitivity study use fewer.
+    """
+
+    def __init__(self, config: PimConfig, compute_channels: int | None = None) -> None:
+        self.config = config
+        self.compute_channels = (
+            config.channels if compute_channels is None else compute_channels
+        )
+        if not 0 < self.compute_channels <= config.channels:
+            raise ValueError(
+                f"compute_channels must be in (0, {config.channels}], "
+                f"got {self.compute_channels}"
+            )
+        self.pcu = PimControlUnit(config)
+        self.controller = PimMemoryController(config)
+        self._estimate_cached = lru_cache(maxsize=4096)(self._estimate_uncached)
+
+    # ------------------------------------------------------------------
+    def gemv(
+        self,
+        out_features: int,
+        in_features: int,
+        fused_gelu: bool = False,
+        channels: int | None = None,
+    ) -> PimOperationEstimate:
+        """Estimate one matrix-vector multiplication ``y = W x`` on the PIM."""
+        channels = channels or self.compute_channels
+        return self._estimate_cached(out_features, in_features, fused_gelu, channels)
+
+    def gemv_time(self, out_features: int, in_features: int, fused_gelu: bool = False) -> float:
+        """Convenience accessor returning only the latency in seconds."""
+        return self.gemv(out_features, in_features, fused_gelu).seconds
+
+    def repeated_gemv_time(
+        self, num_tokens: int, out_features: int, in_features: int, fused_gelu: bool = False
+    ) -> float:
+        """FC of ``num_tokens`` tokens executed as repeated matrix-vector ops.
+
+        PIM executes an FC with more than one input token by repeating the
+        matrix-vector multiplication once per token (Sec. 6.2: "execution
+        time is proportional to the input token size").
+        """
+        return num_tokens * self.gemv_time(out_features, in_features, fused_gelu)
+
+    # ------------------------------------------------------------------
+    def _estimate_uncached(
+        self, out_features: int, in_features: int, fused_gelu: bool, channels: int
+    ) -> PimOperationEstimate:
+        macro = MacroPimCommand(
+            kind=MacroKind.GEMV_GELU if fused_gelu else MacroKind.GEMV,
+            out_features=out_features,
+            in_features=in_features,
+            channels=channels,
+            fused_gelu=fused_gelu,
+        )
+        decoded = self.pcu.decode(macro)
+        # Every participating channel executes the same micro program on its
+        # own banks (all-bank, all-channel parallelism); the per-channel
+        # timing therefore *is* the operation latency, plus the PCU decode
+        # latency which is pipelined and contributes once.
+        result = self.controller.run_micro_program(decoded.micro_commands)
+        seconds = (
+            result.elapsed_s
+            + self.pcu.DECODE_LATENCY_S
+            + self.config.macro_command_overhead_ns * 1e-9
+        )
+        weight_bytes = out_features * in_features * BYTES_PER_ELEMENT
+        return PimOperationEstimate(
+            seconds=seconds,
+            weight_bytes=weight_bytes,
+            row_activations=result.row_activations * channels,
+            mac_column_commands=result.mac_column_commands * channels,
+            bus_bytes=result.bus_bytes,
+            tiles=decoded.tiles,
+            channels=channels,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        per_channel = self.config.banks_per_channel * self.config.pu_flops
+        return per_channel * self.compute_channels
+
+    @property
+    def internal_bandwidth(self) -> float:
+        return self.config.channel_internal_bandwidth * self.compute_channels
+
+    def efficiency(self, out_features: int, in_features: int) -> float:
+        """Fraction of internal bandwidth achieved by one GEMV.
+
+        The paper discusses this efficiency when motivating why QK^T and SV
+        map poorly to PIM (head dimension of 64 uses only 6.25% of a DRAM
+        row) and why embedding dimensions that are multiples of 1024 utilise
+        the PIM fully (Fig. 12 discussion).
+        """
+        estimate = self.gemv(out_features, in_features)
+        return estimate.effective_bandwidth / self.internal_bandwidth

@@ -1,0 +1,17 @@
+"""Command scheduling: duration models, event engine, PAS and naive policies."""
+
+from repro.scheduling.durations import DurationModel
+from repro.scheduling.events import ActivityStats, EventEngine, ScheduledCommand, Timeline
+from repro.scheduling.naive import NaiveScheduler
+from repro.scheduling.pas import PimAccessScheduler, SchedulingReport
+
+__all__ = [
+    "DurationModel",
+    "ActivityStats",
+    "EventEngine",
+    "ScheduledCommand",
+    "Timeline",
+    "NaiveScheduler",
+    "PimAccessScheduler",
+    "SchedulingReport",
+]

@@ -1,0 +1,279 @@
+"""Event-driven execution of command streams.
+
+The engine assigns a start and end time to every command of a
+:class:`repro.ir.CommandStream`, respecting
+
+* dependencies between commands,
+* in-order issue per execution unit (matrix unit, vector unit, the three DMA
+  engines, the PIM chips), matching how the NPU command scheduler issues
+  commands to a unit's issue queue,
+* the scheduling policy: PIM Access Scheduling (PAS) parks off-chip DMA
+  commands while a PIM macro executes on the unified memory (and vice versa),
+  while the naive policy treats every PIM macro as a global barrier,
+* the memory organisation: the partitioned system allows PIM computation and
+  normal accesses to overlap.
+
+The result is a :class:`Timeline` with the makespan, per-unit busy times, a
+per-tag interval union used for the Fig. 10 latency breakdown, and the
+activity statistics consumed by the energy model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.config import MemoryPolicy, SchedulingPolicy, SystemConfig
+from repro.ir.command import Command, CommandStream, OpKind, PimScope, Unit
+from repro.scheduling.durations import DurationModel
+
+__all__ = ["ScheduledCommand", "ActivityStats", "Timeline", "EventEngine"]
+
+
+@dataclass(frozen=True)
+class ScheduledCommand:
+    """A command with its assigned execution window."""
+
+    cid: int
+    unit: Unit
+    kind: OpKind
+    tag: str
+    start: float
+    end: float
+    flops: float
+    bytes_moved: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ActivityStats:
+    """Aggregate activity counts used by the energy model."""
+
+    offchip_read_bytes: int = 0
+    offchip_write_bytes: int = 0
+    pim_weight_bytes: int = 0
+    pim_row_activations: int = 0
+    matrix_unit_flops: float = 0.0
+    vector_unit_flops: float = 0.0
+    onchip_bytes: int = 0
+    pim_macro_commands: int = 0
+
+    def merge(self, other: "ActivityStats") -> "ActivityStats":
+        return ActivityStats(
+            offchip_read_bytes=self.offchip_read_bytes + other.offchip_read_bytes,
+            offchip_write_bytes=self.offchip_write_bytes + other.offchip_write_bytes,
+            pim_weight_bytes=self.pim_weight_bytes + other.pim_weight_bytes,
+            pim_row_activations=self.pim_row_activations + other.pim_row_activations,
+            matrix_unit_flops=self.matrix_unit_flops + other.matrix_unit_flops,
+            vector_unit_flops=self.vector_unit_flops + other.vector_unit_flops,
+            onchip_bytes=self.onchip_bytes + other.onchip_bytes,
+            pim_macro_commands=self.pim_macro_commands + other.pim_macro_commands,
+        )
+
+    def scaled(self, factor: float) -> "ActivityStats":
+        return ActivityStats(
+            offchip_read_bytes=int(self.offchip_read_bytes * factor),
+            offchip_write_bytes=int(self.offchip_write_bytes * factor),
+            pim_weight_bytes=int(self.pim_weight_bytes * factor),
+            pim_row_activations=int(self.pim_row_activations * factor),
+            matrix_unit_flops=self.matrix_unit_flops * factor,
+            vector_unit_flops=self.vector_unit_flops * factor,
+            onchip_bytes=int(self.onchip_bytes * factor),
+            pim_macro_commands=int(self.pim_macro_commands * factor),
+        )
+
+    def with_core_scaling(self, num_cores: int) -> "ActivityStats":
+        """Scale the representative core's activity up to all NPU cores.
+
+        The command stream models one representative core, so DMA traffic and
+        NPU compute must be multiplied by the core count; PIM activity is
+        already system-wide (a macro command drives every participating chip)
+        and stays unchanged.
+        """
+        return ActivityStats(
+            offchip_read_bytes=self.offchip_read_bytes * num_cores,
+            offchip_write_bytes=self.offchip_write_bytes * num_cores,
+            pim_weight_bytes=self.pim_weight_bytes,
+            pim_row_activations=self.pim_row_activations,
+            matrix_unit_flops=self.matrix_unit_flops * num_cores,
+            vector_unit_flops=self.vector_unit_flops * num_cores,
+            onchip_bytes=self.onchip_bytes * num_cores,
+            pim_macro_commands=self.pim_macro_commands,
+        )
+
+
+def _interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of (start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    total += current_end - current_start
+    return total
+
+
+@dataclass
+class Timeline:
+    """Execution schedule of one command stream."""
+
+    commands: list[ScheduledCommand]
+    stats: ActivityStats
+    label: str = ""
+    _busy_by_unit: dict = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max((c.end for c in self.commands), default=0.0)
+
+    def busy_time(self, unit: Unit) -> float:
+        if unit not in self._busy_by_unit:
+            self._busy_by_unit[unit] = _interval_union(
+                [(c.start, c.end) for c in self.commands if c.unit is unit]
+            )
+        return self._busy_by_unit[unit]
+
+    def utilization(self, unit: Unit) -> float:
+        makespan = self.makespan
+        return self.busy_time(unit) / makespan if makespan > 0 else 0.0
+
+    def breakdown_by_tag(self) -> dict[str, float]:
+        """Latency attributed to each breakdown tag (interval union per tag)."""
+        by_tag: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        for command in self.commands:
+            if command.tag and command.unit is not Unit.SYNC:
+                by_tag[command.tag].append((command.start, command.end))
+        return {tag: _interval_union(spans) for tag, spans in by_tag.items()}
+
+    def breakdown_by_unit(self) -> dict[str, float]:
+        return {unit.value: self.busy_time(unit) for unit in Unit
+                if any(c.unit is unit for c in self.commands)}
+
+    def total_flops(self) -> float:
+        return sum(c.flops for c in self.commands)
+
+    def achieved_flops(self) -> float:
+        makespan = self.makespan
+        return self.total_flops() / makespan if makespan > 0 else 0.0
+
+
+class EventEngine:
+    """Assigns execution windows to a command stream's commands."""
+
+    def __init__(self, config: SystemConfig, durations: DurationModel | None = None) -> None:
+        self.config = config
+        self.durations = durations or DurationModel(config)
+
+    # ------------------------------------------------------------------
+    def simulate(self, stream: CommandStream) -> Timeline:
+        stream.validate()
+        config = self.config
+        unified = config.memory_policy is MemoryPolicy.UNIFIED
+        naive = config.scheduling is SchedulingPolicy.NAIVE
+
+        end_times: list[float] = [0.0] * len(stream)
+        unit_free: dict[object, float] = defaultdict(float)
+        scheduled: list[ScheduledCommand] = []
+        stats = ActivityStats()
+
+        #: End of the latest PIM macro scheduled so far; off-chip DMA commands
+        #: issued after a PIM macro wait for it under the unified organisation.
+        last_pim_end = 0.0
+        #: End of the latest off-chip DMA scheduled so far; a PIM macro waits
+        #: for in-flight normal accesses under the unified organisation.
+        last_offchip_end = 0.0
+        #: With naive scheduling each PIM macro is a global barrier.
+        barrier_time = 0.0
+        #: Running maximum end time (needed for the naive barrier semantics).
+        max_end = 0.0
+
+        num_chips = config.pim.num_chips
+
+        for command in stream:
+            duration = self.durations.duration(command)
+            dep_ready = max((end_times[d] for d in command.deps), default=0.0)
+            start = max(dep_ready, barrier_time)
+
+            resource_keys = self._resources(command, num_chips)
+            for key in resource_keys:
+                start = max(start, unit_free[key])
+
+            if command.is_pim():
+                if unified:
+                    start = max(start, last_offchip_end)
+                if naive:
+                    start = max(start, max_end)
+            elif command.is_offchip() and unified and config.pim_compute_enabled:
+                start = max(start, last_pim_end)
+
+            end = start + duration
+            for key in resource_keys:
+                unit_free[key] = end
+            end_times[command.cid] = end
+            max_end = max(max_end, end)
+            if command.is_pim():
+                last_pim_end = max(last_pim_end, end)
+                if naive:
+                    barrier_time = max(barrier_time, end)
+            elif command.is_offchip():
+                last_offchip_end = max(last_offchip_end, end)
+
+            self._accumulate(stats, command)
+            scheduled.append(
+                ScheduledCommand(
+                    cid=command.cid,
+                    unit=command.unit,
+                    kind=command.kind,
+                    tag=command.tag,
+                    start=start,
+                    end=end,
+                    flops=command.flops,
+                    bytes_moved=command.bytes_moved,
+                )
+            )
+
+        return Timeline(commands=scheduled, stats=stats, label=stream.label)
+
+    # ------------------------------------------------------------------
+    def _resources(self, command: Command, num_chips: int) -> list[object]:
+        """Resource instances a command occupies (empty for pure sync)."""
+        if command.unit is Unit.SYNC:
+            return []
+        if command.unit is Unit.PIM:
+            if command.pim_scope is PimScope.SINGLE_CHIP:
+                return [("pim", command.pim_chip % max(1, num_chips))]
+            return [("pim", chip) for chip in range(num_chips)]
+        return [(command.unit,)]
+
+    def _accumulate(self, stats: ActivityStats, command: Command) -> None:
+        if command.unit is Unit.DMA_LOAD:
+            stats.offchip_read_bytes += command.bytes_moved
+        elif command.unit is Unit.DMA_STORE:
+            stats.offchip_write_bytes += command.bytes_moved
+        elif command.unit is Unit.DMA_ONCHIP:
+            stats.onchip_bytes += command.bytes_moved
+        elif command.unit is Unit.PIM:
+            stats.pim_weight_bytes += command.bytes_moved
+            stats.pim_macro_commands += 1
+            if self.durations.pim is not None and len(command.dims) >= 2:
+                dims = command.dims
+                n, d_in, d_out = (dims if len(dims) == 3 else (1, *dims))
+                single = command.pim_scope is PimScope.SINGLE_CHIP
+                device = (
+                    self.durations.pim_single_chip if single else self.durations.pim
+                )
+                estimate = device.gemv(d_out, d_in, command.fused_activation)
+                stats.pim_row_activations += estimate.row_activations * max(1, n)
+        elif command.unit is Unit.MATRIX_UNIT:
+            stats.matrix_unit_flops += command.flops
+        elif command.unit is Unit.VECTOR_UNIT:
+            stats.vector_unit_flops += command.flops

@@ -1,0 +1,38 @@
+"""Naive scheduling baseline (Sec. 3.2, Sec. 5.3, Fig. 13).
+
+Naive scheduling does not consider memory resource conflicts between PIM
+computations and normal memory accesses, and it fails to exploit the
+parallelism between PIM computations and the computations performed on the
+NPU.  In this reproduction that corresponds to two behaviours:
+
+* every PIM macro command acts as a global barrier: nothing already issued
+  may overlap with it and nothing issued later may start before it finishes
+  (enforced by :class:`repro.scheduling.events.EventEngine` when the
+  configuration selects :class:`repro.config.SchedulingPolicy.NAIVE`);
+* the compiler emits the *serial* attention schedule — no key transpose
+  during value generation, no weight prefetching for the next head, no
+  on-chip value movement during softmax.
+
+:class:`NaiveScheduler` is a convenience wrapper that applies both.
+"""
+
+from __future__ import annotations
+
+from repro.config import SchedulingPolicy, SystemConfig
+from repro.ir.command import CommandStream
+from repro.scheduling.events import EventEngine, Timeline
+from repro.scheduling.pas import PimAccessScheduler
+
+__all__ = ["NaiveScheduler"]
+
+
+class NaiveScheduler(PimAccessScheduler):
+    """Scheduler that forces the naive (PIM-as-barrier) policy."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        naive_config = config.variant(scheduling=SchedulingPolicy.NAIVE)
+        super().__init__(naive_config)
+
+    def schedule(self, stream: CommandStream) -> Timeline:
+        engine = EventEngine(self.config, self.durations)
+        return engine.simulate(stream)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the IANUS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import IanusSystem
+from repro.models import GPT2_CONFIGS, Workload
+from repro.models.workload import Stage, StagePass
+from repro.scheduling.durations import DurationModel
+
+
+@pytest.fixture(scope="session")
+def ianus_config() -> SystemConfig:
+    return SystemConfig.ianus()
+
+
+@pytest.fixture(scope="session")
+def npu_mem_config() -> SystemConfig:
+    return SystemConfig.npu_mem()
+
+
+@pytest.fixture(scope="session")
+def durations(ianus_config) -> DurationModel:
+    return DurationModel(ianus_config)
+
+
+@pytest.fixture(scope="session")
+def ianus_system(ianus_config) -> IanusSystem:
+    return IanusSystem(ianus_config)
+
+
+@pytest.fixture(scope="session")
+def npu_mem_system(npu_mem_config) -> IanusSystem:
+    return IanusSystem(npu_mem_config)
+
+
+@pytest.fixture(scope="session")
+def gpt2_xl():
+    return GPT2_CONFIGS["xl"]
+
+
+@pytest.fixture(scope="session")
+def gpt2_m():
+    return GPT2_CONFIGS["m"]
+
+
+@pytest.fixture
+def generation_pass() -> StagePass:
+    return StagePass(stage=Stage.GENERATION, num_tokens=1, kv_length=192)
+
+
+@pytest.fixture
+def summarization_pass() -> StagePass:
+    return StagePass(stage=Stage.SUMMARIZATION, num_tokens=128, kv_length=128)
+
+
+@pytest.fixture
+def small_workload() -> Workload:
+    return Workload(input_tokens=64, output_tokens=8)

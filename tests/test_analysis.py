@@ -1,0 +1,78 @@
+"""Tests for the analysis/reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BREAKDOWN_CATEGORIES,
+    arithmetic_mean,
+    breakdown_fractions,
+    format_series,
+    format_table,
+    geometric_mean,
+    normalize_breakdown,
+    ordered_breakdown,
+    speedup,
+    total_latency_ratio,
+)
+
+
+class TestBreakdownHelpers:
+    def test_canonical_order(self):
+        breakdown = {"FFN+Add": 2.0, "LayerNorm": 1.0}
+        ordered = ordered_breakdown(breakdown)
+        assert list(ordered) == list(BREAKDOWN_CATEGORIES)
+        assert ordered["FFN+Add"] == 2.0
+        assert ordered["Self-attention"] == 0.0
+
+    def test_normalisation_sums_to_one(self):
+        breakdown = {"FFN+Add": 3.0, "LayerNorm": 1.0}
+        normalized = normalize_breakdown(breakdown)
+        assert sum(normalized.values()) == pytest.approx(1.0)
+
+    def test_normalisation_of_empty_breakdown(self):
+        assert all(v == 0.0 for v in normalize_breakdown({}).values())
+
+    def test_fractions_include_extra_categories(self):
+        fractions = breakdown_fractions({"LM head": 1.0, "FFN+Add": 1.0})
+        assert fractions["LM head"] == pytest.approx(0.5)
+
+    def test_fractions_of_empty_breakdown(self):
+        assert breakdown_fractions({}) == {}
+
+
+class TestMeansAndSpeedups:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+
+    def test_total_latency_ratio_matches_paper_average_definition(self):
+        """The paper's 'average speedup over DFX' is a total-latency ratio."""
+        baseline = [100.0, 10.0]
+        improved = [10.0, 10.0]
+        # Mean of per-config ratios would be 5.5x; the total ratio is 5.5x...
+        assert total_latency_ratio(baseline, improved) == pytest.approx(110.0 / 20.0)
+        assert total_latency_ratio([1.0], [0.0]) == float("inf")
+
+
+class TestFormatting:
+    def test_format_table_contains_headers_and_rows(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", 10000.0]], title="T")
+        assert "T" in table
+        assert "a" in table and "b" in table
+        assert "2.500" in table
+        assert "10,000" in table
+
+    def test_format_series(self):
+        series = format_series("latency", [1, 2], [0.5, 1.5], unit="ms")
+        assert "latency" in series
+        assert "1=0.500ms" in series

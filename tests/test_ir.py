@@ -1,0 +1,118 @@
+"""Tests for the command IR (repro.ir)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import Command, CommandStream, OpKind, PimScope, Unit
+
+
+def make_stream() -> CommandStream:
+    stream = CommandStream(label="test")
+    load = stream.add(Unit.DMA_LOAD, OpKind.WEIGHT_LOAD, bytes_moved=1024, tag="FFN+Add")
+    compute = stream.add(
+        Unit.MATRIX_UNIT, OpKind.FC_FFN1, flops=100.0, dims=(1, 8, 8),
+        deps=[load], tag="FFN+Add",
+    )
+    stream.add(Unit.VECTOR_UNIT, OpKind.GELU, dims=(1, 8), deps=[compute], tag="FFN+Add")
+    return stream
+
+
+class TestCommandStreamConstruction:
+    def test_ids_are_sequential(self):
+        stream = make_stream()
+        assert [c.cid for c in stream] == [0, 1, 2]
+
+    def test_deps_accept_commands_and_ids(self):
+        stream = CommandStream()
+        first = stream.add(Unit.SYNC, OpKind.SYNC)
+        second = stream.add(Unit.SYNC, OpKind.SYNC, deps=[first])
+        third = stream.add(Unit.SYNC, OpKind.SYNC, deps=[0, second])
+        assert second.deps == (0,)
+        assert third.deps == (0, 1)
+
+    def test_forward_dependency_rejected(self):
+        stream = CommandStream()
+        stream.add(Unit.SYNC, OpKind.SYNC)
+        with pytest.raises(ValueError):
+            stream.add(Unit.SYNC, OpKind.SYNC, deps=[5])
+
+    def test_self_dependency_rejected(self):
+        stream = CommandStream()
+        stream.add(Unit.SYNC, OpKind.SYNC)
+        with pytest.raises(ValueError):
+            stream.add(Unit.SYNC, OpKind.SYNC, deps=[1])
+
+    def test_duplicate_deps_are_collapsed(self):
+        stream = CommandStream()
+        first = stream.add(Unit.SYNC, OpKind.SYNC)
+        second = stream.add(Unit.SYNC, OpKind.SYNC, deps=[first, first, 0])
+        assert second.deps == (0,)
+
+    def test_barrier_depends_on_everything(self):
+        stream = make_stream()
+        barrier = stream.barrier()
+        assert barrier.deps == (0, 1, 2)
+        assert barrier.unit is Unit.SYNC
+
+    def test_metadata_is_stored(self):
+        stream = CommandStream()
+        command = stream.add(Unit.SYNC, OpKind.SYNC, head=3, which="K")
+        assert command.metadata == {"head": 3, "which": "K"}
+
+    def test_validate_passes_for_well_formed_stream(self):
+        make_stream().validate()
+
+
+class TestCommandStreamQueries:
+    def test_by_unit(self):
+        stream = make_stream()
+        assert len(stream.by_unit(Unit.MATRIX_UNIT)) == 1
+        assert len(stream.by_unit(Unit.PIM)) == 0
+
+    def test_by_kind_and_tag(self):
+        stream = make_stream()
+        assert len(stream.by_kind(OpKind.GELU)) == 1
+        assert len(stream.by_tag("FFN+Add")) == 3
+        assert stream.tags() == {"FFN+Add"}
+
+    def test_totals(self):
+        stream = make_stream()
+        assert stream.total_flops() == pytest.approx(100.0)
+        assert stream.total_offchip_bytes() == 1024
+        assert stream.total_pim_bytes() == 0
+
+    def test_dependency_depth(self):
+        stream = make_stream()
+        assert stream.dependency_depth() == 2
+
+    def test_getitem(self):
+        stream = make_stream()
+        assert stream[1].unit is Unit.MATRIX_UNIT
+
+
+class TestCommandProperties:
+    def test_offchip_detection(self):
+        assert Command(0, Unit.DMA_LOAD, OpKind.WEIGHT_LOAD).is_offchip()
+        assert Command(0, Unit.DMA_STORE, OpKind.KV_STORE).is_offchip()
+        assert not Command(0, Unit.DMA_ONCHIP, OpKind.ONCHIP_MOVE).is_offchip()
+        assert not Command(0, Unit.MATRIX_UNIT, OpKind.FC_QKV).is_offchip()
+
+    def test_pim_detection(self):
+        assert Command(0, Unit.PIM, OpKind.PIM_GEMV).is_pim()
+        assert not Command(0, Unit.MATRIX_UNIT, OpKind.FC_QKV).is_pim()
+
+    def test_default_pim_scope_is_all_chips(self):
+        assert Command(0, Unit.PIM, OpKind.PIM_GEMV).pim_scope is PimScope.ALL_CHIPS
+
+
+class TestStreamExtend:
+    def test_extend_remaps_dependencies(self):
+        first = make_stream()
+        second = make_stream()
+        mapping = first.extend(second)
+        assert len(first) == 6
+        assert mapping == {0: 3, 1: 4, 2: 5}
+        # The extended compute command depends on the extended load command.
+        assert first[4].deps == (3,)
+        first.validate()

@@ -1,0 +1,86 @@
+"""Tests for the whole-model PIM layout planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PimConfig
+from repro.models import GPT2_CONFIGS, LARGE_GPT_CONFIGS, BERT_CONFIGS
+from repro.pim.layout import LayoutError, PimLayoutPlanner
+
+
+@pytest.fixture(scope="module")
+def planner() -> PimLayoutPlanner:
+    return PimLayoutPlanner(PimConfig(), max_sequence_length=1024)
+
+
+class TestLayoutPlanning:
+    def test_gpt2_models_fit_one_device(self, planner):
+        for model in GPT2_CONFIGS.values():
+            layout = planner.plan(model)
+            assert layout.capacity_utilization <= 1.0
+            assert planner.fits(model)
+
+    def test_large_models_do_not_fit(self, planner):
+        for model in LARGE_GPT_CONFIGS.values():
+            with pytest.raises(LayoutError):
+                planner.plan(model)
+            assert not planner.fits(model)
+
+    def test_row_ranges_are_disjoint(self, planner, gpt2_m):
+        layout = planner.plan(gpt2_m)
+        assert layout.row_ranges_disjoint()
+
+    def test_every_block_gets_six_weight_regions(self, planner, gpt2_m):
+        layout = planner.plan(gpt2_m)
+        for block in range(gpt2_m.num_blocks):
+            regions = layout.regions_for_block(block)
+            assert len(regions) == 6
+            names = {r.name.split("/")[1] for r in regions}
+            assert names == {"w_q", "w_k", "w_v", "w_o", "w_ffn1", "w_ffn2"}
+
+    def test_qkv_regions_are_head_wise(self, planner, gpt2_m):
+        layout = planner.plan(gpt2_m)
+        assert layout.region("block0/w_q").head_wise
+        assert not layout.region("block0/w_ffn1").head_wise
+
+    def test_lm_head_present_for_decoders_only(self, planner, gpt2_m):
+        decoder_layout = planner.plan(gpt2_m)
+        assert any(region.name == "lm_head" for region in decoder_layout.regions)
+        encoder_layout = planner.plan(BERT_CONFIGS["base"])
+        assert not any(region.name == "lm_head" for region in encoder_layout.regions)
+
+    def test_weight_bytes_match_model_fc_parameters(self, planner, gpt2_m):
+        layout = planner.plan(gpt2_m)
+        expected = gpt2_m.fc_param_bytes
+        assert layout.weight_bytes == expected
+
+    def test_padding_overhead_zero_for_aligned_model(self, planner):
+        """GPT-2 M (d=1024) fills every DRAM row exactly."""
+        layout = planner.plan(GPT2_CONFIGS["m"])
+        # Only the LM head (vocab not a multiple of the tile rows) pads.
+        block_regions = layout.regions_for_block(0)
+        assert all(region.padding_fraction == pytest.approx(0.0) for region in block_regions)
+
+    def test_padding_overhead_positive_for_ragged_model(self, planner):
+        """GPT-2 L (d=1280) wastes part of every 1024-element row."""
+        layout = planner.plan(GPT2_CONFIGS["l"])
+        ffn1 = layout.region("block0/w_ffn1")
+        assert ffn1.padding_fraction > 0.1
+
+    def test_kv_cache_reserved(self, planner, gpt2_m):
+        layout = planner.plan(gpt2_m)
+        assert layout.kv_cache_bytes == gpt2_m.kv_cache_bytes(1024)
+        assert layout.kv_cache_rows > 0
+
+    def test_unknown_region_lookup_raises(self, planner, gpt2_m):
+        with pytest.raises(KeyError):
+            planner.plan(gpt2_m).region("block0/w_missing")
+
+    def test_summary_mentions_model_name(self, planner, gpt2_m):
+        assert gpt2_m.name in planner.plan(gpt2_m).summary()
+
+    def test_longer_kv_budget_increases_utilization(self):
+        short = PimLayoutPlanner(max_sequence_length=256).plan(GPT2_CONFIGS["xl"])
+        long = PimLayoutPlanner(max_sequence_length=2048).plan(GPT2_CONFIGS["xl"])
+        assert long.capacity_utilization > short.capacity_utilization

@@ -1,0 +1,107 @@
+"""Tests for the NoC model and the unified / partitioned memory organisations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NocConfig, SystemConfig
+from repro.memory import (
+    MemoryCapacityError,
+    NocModel,
+    PartitionedMemorySystem,
+    UnifiedMemorySystem,
+    make_memory_system,
+)
+from repro.models import GPT2_CONFIGS, LARGE_GPT_CONFIGS
+
+
+class TestNocModel:
+    @pytest.fixture
+    def noc(self) -> NocModel:
+        return NocModel(NocConfig(), num_cores=4, num_controllers=8)
+
+    def test_zero_bytes_is_free(self, noc):
+        assert noc.data_transfer_time(0) == 0.0
+
+    def test_transfer_time_includes_hop_latency(self, noc):
+        assert noc.data_transfer_time(1024) >= NocConfig().hop_latency_s
+
+    def test_broadcast_cheaper_than_unicast_replication(self):
+        with_broadcast = NocModel(NocConfig(supports_broadcast=True), 4, 8)
+        without_broadcast = NocModel(NocConfig(supports_broadcast=False), 4, 8)
+        assert (
+            with_broadcast.command_broadcast_time(1000)
+            < without_broadcast.command_broadcast_time(1000)
+        )
+
+    def test_broadcast_estimate_message_count(self, noc):
+        estimate = noc.estimate_broadcast(10)
+        assert estimate.messages == 10
+        assert estimate.bytes_moved == 10 * NocConfig().command_bytes
+
+    def test_bisection_bandwidth_positive(self, noc):
+        assert noc.bisection_bandwidth() > 0
+
+
+class TestUnifiedMemorySystem:
+    def test_gpt2_models_fit(self):
+        system = UnifiedMemorySystem(SystemConfig.ianus())
+        for model in GPT2_CONFIGS.values():
+            placement = system.place(model, max_sequence_length=1024)
+            assert placement.fits
+            assert placement.duplicated_fc_bytes == 0
+            assert placement.shared_fc_bytes == model.fc_param_bytes
+
+    def test_large_models_do_not_fit_one_device(self):
+        system = UnifiedMemorySystem(SystemConfig.ianus())
+        with pytest.raises(MemoryCapacityError):
+            system.place(LARGE_GPT_CONFIGS["6.7b"], max_sequence_length=1024)
+
+    def test_no_concurrent_pim_and_dma(self):
+        assert UnifiedMemorySystem.allows_concurrent_pim_and_dma is False
+
+    def test_footprint_reduction_is_about_2x(self):
+        """Sec. 3.2: unified memory roughly halves the footprint."""
+        system = UnifiedMemorySystem(SystemConfig.ianus())
+        reduction = system.footprint_reduction_vs_partitioned(GPT2_CONFIGS["xl"])
+        assert 1.7 <= reduction <= 2.0
+
+
+class TestPartitionedMemorySystem:
+    def test_small_models_fully_duplicate(self):
+        system = PartitionedMemorySystem(SystemConfig.partitioned())
+        for key in ("m", "l", "xl"):
+            placement = system.place(GPT2_CONFIGS[key], max_sequence_length=768)
+            assert placement.non_duplicated_fc_bytes == 0
+            assert placement.duplicated_fc_bytes == GPT2_CONFIGS[key].fc_param_bytes
+
+    def test_gpt2_2_5b_cannot_fully_duplicate(self):
+        """Sec. 6.2: the 2.5B model's FC parameters no longer fit twice."""
+        system = PartitionedMemorySystem(SystemConfig.partitioned())
+        fraction = system.non_duplicated_fraction(GPT2_CONFIGS["2.5b"], max_sequence_length=768)
+        assert fraction > 0.1
+
+    def test_concurrent_pim_and_dma_allowed(self):
+        assert PartitionedMemorySystem.allows_concurrent_pim_and_dma is True
+
+    def test_partitioned_footprint_larger_than_unified(self):
+        unified = UnifiedMemorySystem(SystemConfig.ianus())
+        partitioned = PartitionedMemorySystem(SystemConfig.partitioned())
+        model = GPT2_CONFIGS["m"]
+        assert (
+            partitioned.place(model, 512).total_bytes
+            > unified.place(model, 512).total_bytes
+        )
+
+    def test_model_larger_than_pim_region_rejected(self):
+        system = PartitionedMemorySystem(SystemConfig.partitioned())
+        with pytest.raises(MemoryCapacityError):
+            system.place(LARGE_GPT_CONFIGS["6.7b"], max_sequence_length=512)
+
+
+class TestFactory:
+    def test_factory_selects_policy(self):
+        assert isinstance(make_memory_system(SystemConfig.ianus()), UnifiedMemorySystem)
+        assert isinstance(
+            make_memory_system(SystemConfig.partitioned()), PartitionedMemorySystem
+        )

@@ -1,0 +1,110 @@
+"""Tests for the DRAM address mapping and PIM tile layout (Figs. 4 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PimConfig
+from repro.pim import AddressMapping, TileMapping
+
+
+@pytest.fixture
+def pim() -> PimConfig:
+    return PimConfig()
+
+
+class TestAddressMapping:
+    def test_round_trip(self, pim):
+        mapping = AddressMapping(pim)
+        address = mapping.encode(row=5, channel=3, bank=9, column=17, offset=4)
+        decoded = mapping.decode(address)
+        assert (decoded.row, decoded.channel, decoded.bank, decoded.column, decoded.offset) == (
+            5, 3, 9, 17, 4,
+        )
+
+    def test_row_bits_are_most_significant(self, pim):
+        """Fig. 5: the row index occupies the MSBs of the address."""
+        mapping = AddressMapping(pim)
+        low_row = mapping.encode(row=0, channel=7, bank=15, column=63, offset=31)
+        high_row = mapping.encode(row=1, channel=0, bank=0, column=0, offset=0)
+        assert high_row > low_row
+
+    def test_column_bits_are_least_significant(self, pim):
+        mapping = AddressMapping(pim)
+        base = mapping.encode(row=0, channel=0, bank=0, column=0, offset=0)
+        next_column = mapping.encode(row=0, channel=0, bank=0, column=1, offset=0)
+        assert next_column - base == mapping.access_bytes
+
+    def test_out_of_range_rejected(self, pim):
+        mapping = AddressMapping(pim)
+        with pytest.raises(ValueError):
+            mapping.encode(row=0, channel=pim.channels, bank=0, column=0)
+        with pytest.raises(ValueError):
+            mapping.encode(row=0, channel=0, bank=pim.banks_per_channel, column=0)
+
+    def test_capacity_consistent_with_bit_widths(self, pim):
+        mapping = AddressMapping(pim)
+        total_bits = (
+            mapping.row_bits + mapping.channel_bits + mapping.bank_bits
+            + mapping.column_bits + mapping.offset_bits
+        )
+        assert 2 ** total_bits == pim.capacity_bytes
+
+
+class TestTileMapping:
+    def test_tile_counts_for_aligned_matrix(self, pim):
+        mapping = TileMapping(pim, out_features=1024, in_features=1024)
+        assert mapping.tile_rows == 128
+        assert mapping.row_tiles == 8
+        assert mapping.col_tiles == 1
+        assert mapping.num_tiles == 8
+
+    def test_tile_counts_for_ragged_matrix(self, pim):
+        """GPT-2 L's d=1280 needs two column tiles per row tile (Sec. 6.2)."""
+        mapping = TileMapping(pim, out_features=1280, in_features=1280)
+        assert mapping.col_tiles == 2
+        assert mapping.row_tiles == 10
+
+    def test_every_weight_element_is_covered_exactly_once(self, pim):
+        mapping = TileMapping(pim, out_features=300, in_features=1500)
+        covered = 0
+        for tile in mapping.tiles():
+            assert 0 < tile.used_rows <= mapping.tile_rows
+            assert 0 < tile.used_cols <= mapping.tile_cols
+            covered += tile.weight_elements
+        assert covered == 300 * 1500
+
+    def test_tiles_have_distinct_row_addresses(self, pim):
+        """Fig. 5: each tile gets its own DRAM row address."""
+        mapping = TileMapping(pim, out_features=512, in_features=4096)
+        addresses = [tile.row_address for tile in mapping.tiles()]
+        assert len(addresses) == len(set(addresses))
+
+    def test_bank_coordinates_spread_rows_across_channels_and_banks(self, pim):
+        mapping = TileMapping(pim, out_features=128, in_features=1024)
+        coordinates = {mapping.bank_coordinates(r) for r in range(128)}
+        # 128 tile rows land on 128 distinct (channel, bank) pairs.
+        assert len(coordinates) == 128
+
+    def test_reduced_channel_count_shrinks_tiles(self, pim):
+        full = TileMapping(pim, 1024, 1024, compute_channels=8)
+        half = TileMapping(pim, 1024, 1024, compute_channels=4)
+        assert half.tile_rows == full.tile_rows // 2
+        assert half.num_tiles == 2 * full.num_tiles
+
+    def test_utilization_perfect_for_aligned_shapes(self, pim):
+        aligned = TileMapping(pim, 1024, 1024)
+        assert aligned.utilization() == pytest.approx(1.0)
+
+    def test_utilization_degrades_for_ragged_shapes(self, pim):
+        ragged = TileMapping(pim, 1280, 1280)
+        assert ragged.utilization() < 0.7
+
+    def test_mac_commands_per_tile(self, pim):
+        mapping = TileMapping(pim, 128, 1024)
+        (tile,) = mapping.tiles()
+        assert mapping.mac_commands_per_tile(tile) == 1024 // pim.elements_per_mac
+
+    def test_invalid_dimensions_rejected(self, pim):
+        with pytest.raises(ValueError):
+            TileMapping(pim, 0, 10)

@@ -1,0 +1,187 @@
+"""Tests for PIM commands, the PCU, the memory controller and the device model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PimConfig
+from repro.pim import (
+    GlobalBuffer,
+    MacroKind,
+    MacroPimCommand,
+    MicroKind,
+    PimControlUnit,
+    PimDeviceModel,
+    PimMemoryController,
+    ProcessingUnitModel,
+)
+
+
+@pytest.fixture
+def pim() -> PimConfig:
+    return PimConfig()
+
+
+@pytest.fixture
+def pcu(pim) -> PimControlUnit:
+    return PimControlUnit(pim)
+
+
+class TestPimControlUnit:
+    def test_gemv_macro_decodes_to_per_tile_micro_sequence(self, pcu):
+        macro = MacroPimCommand(MacroKind.GEMV, out_features=128, in_features=1024, channels=8)
+        decoded = pcu.decode(macro)
+        assert decoded.tiles == 1
+        kinds = [c.kind for c in decoded.micro_commands]
+        assert kinds[0] is MicroKind.WRITE_GLOBAL_BUFFER
+        assert MicroKind.ACTIVATE_ALL_BANKS in kinds
+        assert MicroKind.MAC_ALL_BANKS in kinds
+        assert MicroKind.READ_MAC_RESULT in kinds
+        assert kinds[-1] is MicroKind.PRECHARGE_ALL_BANKS
+
+    def test_activations_match_tile_count(self, pcu):
+        macro = MacroPimCommand(MacroKind.GEMV, out_features=1024, in_features=2048, channels=8)
+        decoded = pcu.decode(macro)
+        assert decoded.row_activations == decoded.tiles == 16
+
+    def test_mac_commands_cover_all_columns(self, pcu, pim):
+        macro = MacroPimCommand(MacroKind.GEMV, out_features=128, in_features=1024, channels=8)
+        decoded = pcu.decode(macro)
+        assert decoded.mac_commands == 1024 // pim.elements_per_mac
+
+    def test_fused_gelu_adds_activation_function_commands(self, pcu):
+        plain = pcu.decode(
+            MacroPimCommand(MacroKind.GEMV, out_features=128, in_features=1024, channels=8)
+        )
+        fused = pcu.decode(
+            MacroPimCommand(
+                MacroKind.GEMV_GELU, out_features=128, in_features=1024, channels=8,
+                fused_gelu=True,
+            )
+        )
+        assert fused.count(MicroKind.ACTIVATION_FUNCTION) == 1
+        assert plain.count(MicroKind.ACTIVATION_FUNCTION) == 0
+
+    def test_elementwise_add_decoding(self, pcu):
+        decoded = pcu.decode(
+            MacroPimCommand(MacroKind.ELEMENTWISE_ADD, out_features=4096, in_features=1, channels=8)
+        )
+        assert decoded.tiles == 4
+        assert decoded.count(MicroKind.MAC_ALL_BANKS) == 4
+
+
+class TestPimMemoryController:
+    def test_micro_program_elapsed_time_is_positive(self, pim, pcu):
+        macro = MacroPimCommand(MacroKind.GEMV, out_features=128, in_features=1024, channels=8)
+        decoded = pcu.decode(macro)
+        result = PimMemoryController(pim).run_micro_program(decoded.micro_commands)
+        assert result.elapsed_ns > 0
+        assert result.row_activations == 16  # 16 banks, one tile
+        assert result.mac_column_commands == 64
+
+    def test_one_tile_costs_at_least_activation_plus_macs_plus_precharge(self, pim, pcu):
+        macro = MacroPimCommand(MacroKind.GEMV, out_features=128, in_features=1024, channels=8)
+        decoded = pcu.decode(macro)
+        result = PimMemoryController(pim).run_micro_program(decoded.micro_commands)
+        timing = pim.timing
+        lower_bound = timing.tRCD_RD + 64 * timing.tCCD_L + timing.tRP
+        assert result.elapsed_ns >= lower_bound
+
+    def test_normal_access_streaming_time(self, pim):
+        controller = PimMemoryController(pim)
+        result = controller.normal_access(2 * 1024 * 1024)
+        expected_transfer = 2 * 1024 * 1024 / pim.channel_external_bandwidth * 1e9
+        assert result.elapsed_ns == pytest.approx(
+            pim.timing.tRCD_RD + expected_transfer + pim.timing.tRP
+        )
+
+    def test_normal_access_zero_bytes(self, pim):
+        result = PimMemoryController(pim).normal_access(0)
+        assert result.elapsed_ns == 0.0
+
+
+class TestPimDeviceModel:
+    def test_gemv_effective_bandwidth_below_internal_peak(self, pim):
+        device = PimDeviceModel(pim)
+        estimate = device.gemv(1024, 1024)
+        assert 0 < estimate.effective_bandwidth < device.internal_bandwidth
+
+    def test_gemv_effective_bandwidth_above_external_bandwidth(self, pim):
+        """The whole point of PIM: beat the 256 GB/s external interface."""
+        device = PimDeviceModel(pim)
+        estimate = device.gemv(1536, 1536)
+        assert estimate.effective_bandwidth > pim.external_bandwidth
+
+    def test_aligned_dimension_more_efficient_than_ragged(self, pim):
+        """d=1024 fills DRAM rows; d=1280 does not (Fig. 12 discussion)."""
+        device = PimDeviceModel(pim)
+        assert device.efficiency(1024, 1024) > device.efficiency(1280, 1280)
+
+    def test_small_head_dim_gemv_is_inefficient(self, pim):
+        """Sec. 5.3: QK^T with head_dim=64 uses 6.25% of a DRAM row."""
+        device = PimDeviceModel(pim)
+        assert device.efficiency(64, 64) < 0.05
+
+    def test_repeated_gemv_scales_linearly_with_tokens(self, pim):
+        device = PimDeviceModel(pim)
+        assert device.repeated_gemv_time(8, 1024, 1024) == pytest.approx(
+            8 * device.gemv_time(1024, 1024)
+        )
+
+    def test_fused_gelu_adds_little_time(self, pim):
+        device = PimDeviceModel(pim)
+        plain = device.gemv_time(4096, 1024)
+        fused = device.gemv_time(4096, 1024, fused_gelu=True)
+        assert plain < fused < plain * 1.1
+
+    def test_fewer_channels_slow_the_gemv(self, pim):
+        full = PimDeviceModel(pim, compute_channels=8)
+        half = PimDeviceModel(pim, compute_channels=4)
+        assert half.gemv_time(2048, 2048) > full.gemv_time(2048, 2048)
+
+    def test_invalid_channel_count_rejected(self, pim):
+        with pytest.raises(ValueError):
+            PimDeviceModel(pim, compute_channels=0)
+        with pytest.raises(ValueError):
+            PimDeviceModel(pim, compute_channels=9)
+
+    def test_estimates_are_cached_and_consistent(self, pim):
+        device = PimDeviceModel(pim)
+        first = device.gemv(1536, 1536)
+        second = device.gemv(1536, 1536)
+        assert first == second
+
+
+class TestProcessingUnitAndGlobalBuffer:
+    def test_pu_peak_flops_matches_config(self, pim):
+        assert ProcessingUnitModel(pim).peak_flops == pim.pu_flops
+
+    def test_pu_mac_time(self, pim):
+        pu = ProcessingUnitModel(pim)
+        assert pu.mac_time_s(1024) == pytest.approx(64 * pim.timing.tCCD_L * 1e-9)
+
+    def test_pu_functional_mac(self):
+        import numpy as np
+
+        weights = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        inputs = np.array([4.0, 5.0, 6.0], dtype=np.float32)
+        assert ProcessingUnitModel(PimConfig()).mac(weights, inputs, accumulator=1.0) == pytest.approx(33.0)
+
+    def test_global_buffer_capacity_is_one_row(self, pim):
+        buffer = GlobalBuffer(pim)
+        assert buffer.capacity_elements == 1024
+
+    def test_global_buffer_rejects_oversized_segments(self, pim):
+        import numpy as np
+
+        buffer = GlobalBuffer(pim)
+        with pytest.raises(ValueError):
+            buffer.write(np.zeros(2048, dtype=np.float32))
+
+    def test_global_buffer_read_beyond_valid_rejected(self, pim):
+        import numpy as np
+
+        buffer = GlobalBuffer(pim)
+        buffer.write(np.ones(100, dtype=np.float32))
+        with pytest.raises(ValueError):
+            buffer.read(90, 20)

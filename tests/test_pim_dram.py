@@ -1,0 +1,90 @@
+"""Tests for the DRAM bank state machine and timing enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DramTimingConfig, PimConfig
+from repro.pim import BankState, DramBank, DramChannelState, DramTimingError
+
+
+@pytest.fixture
+def timing() -> DramTimingConfig:
+    return DramTimingConfig()
+
+
+class TestDramBank:
+    def test_activate_opens_row_after_trcd(self, timing):
+        bank = DramBank(timing)
+        ready = bank.activate(row=3, now_ns=0.0)
+        assert ready == pytest.approx(timing.tRCD_RD)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 3
+
+    def test_double_activate_rejected(self, timing):
+        bank = DramBank(timing)
+        bank.activate(0, 0.0)
+        with pytest.raises(DramTimingError):
+            bank.activate(1, 100.0)
+
+    def test_column_access_requires_open_row(self, timing):
+        bank = DramBank(timing)
+        with pytest.raises(DramTimingError):
+            bank.column_access(0.0)
+
+    def test_column_accesses_stream_at_tccd(self, timing):
+        bank = DramBank(timing)
+        ready = bank.activate(0, 0.0)
+        done = bank.column_access(ready, count=64)
+        assert done == pytest.approx(ready + 64 * timing.tCCD_L)
+        assert bank.column_accesses == 64
+
+    def test_precharge_respects_tras(self, timing):
+        bank = DramBank(timing)
+        bank.activate(0, 0.0)
+        done = bank.precharge(0.0)
+        # Cannot precharge before tRAS has elapsed since activation.
+        assert done >= timing.tRAS + timing.tRP
+        assert bank.state is BankState.IDLE
+
+    def test_precharge_idle_bank_rejected(self, timing):
+        bank = DramBank(timing)
+        with pytest.raises(DramTimingError):
+            bank.precharge(0.0)
+
+    def test_write_recovery_delays_precharge(self, timing):
+        bank = DramBank(timing)
+        ready = bank.activate(0, 0.0)
+        done_write = bank.column_access(ready, is_write=True, count=1)
+        precharged = bank.precharge(done_write)
+        assert precharged >= done_write + timing.tWR + timing.tRP
+
+    def test_row_conflict_forces_precharge_activate(self, timing):
+        bank = DramBank(timing)
+        finish_first = bank.access_row(0, 0.0, column_commands=4)
+        finish_second = bank.access_row(1, finish_first, column_commands=4)
+        # The second access pays at least tRP + tRCD beyond the first.
+        assert finish_second >= finish_first + timing.tRP + timing.tRCD_RD
+        assert bank.activations == 2
+
+    def test_row_hit_avoids_activation(self, timing):
+        bank = DramBank(timing)
+        bank.access_row(0, 0.0, column_commands=4)
+        bank.access_row(0, 100.0, column_commands=4)
+        assert bank.activations == 1
+
+
+class TestDramChannelState:
+    def test_all_banks_operate_in_parallel(self, timing):
+        channel = DramChannelState(timing=timing, num_banks=16)
+        finish = channel.all_banks_access_row(0, 0.0, column_commands=64)
+        # All banks work concurrently, so the channel finishes when one bank
+        # would: activation plus 64 column commands.
+        assert finish == pytest.approx(timing.tRCD_RD + 64 * timing.tCCD_L)
+        assert channel.total_activations() == 16
+        assert channel.total_column_accesses() == 16 * 64
+
+    def test_bank_count_matches_config(self):
+        config = PimConfig()
+        channel = DramChannelState(timing=config.timing, num_banks=config.banks_per_channel)
+        assert len(channel.banks) == 16

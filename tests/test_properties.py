@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PimConfig, SystemConfig
+from repro.functional import PimFunctionalDevice, to_bf16
+from repro.functional.reference import softmax
+from repro.ir import CommandStream, OpKind, Unit
+from repro.npu import MatrixUnitModel, VectorUnitModel
+from repro.pim import AddressMapping, PimDeviceModel, TileMapping
+from repro.scheduling import EventEngine
+
+PIM = PimConfig()
+MAPPING = AddressMapping(PIM)
+
+
+# ----------------------------------------------------------------------
+# Address mapping and tiling
+# ----------------------------------------------------------------------
+@given(
+    row=st.integers(min_value=0, max_value=MAPPING.num_rows - 1),
+    channel=st.integers(min_value=0, max_value=PIM.channels - 1),
+    bank=st.integers(min_value=0, max_value=PIM.banks_per_channel - 1),
+    column=st.integers(min_value=0, max_value=PIM.row_bytes // 32 - 1),
+    offset=st.integers(min_value=0, max_value=31),
+)
+@settings(max_examples=200, deadline=None)
+def test_address_mapping_round_trip(row, channel, bank, column, offset):
+    """encode/decode is a bijection over the whole address space."""
+    address = MAPPING.encode(row, channel, bank, column, offset)
+    decoded = MAPPING.decode(address)
+    assert (decoded.row, decoded.channel, decoded.bank, decoded.column, decoded.offset) == (
+        row, channel, bank, column, offset,
+    )
+    assert 0 <= address < MAPPING.capacity_bytes
+
+
+@given(
+    out_features=st.integers(min_value=1, max_value=4096),
+    in_features=st.integers(min_value=1, max_value=4096),
+)
+@settings(max_examples=100, deadline=None)
+def test_tile_mapping_covers_matrix_exactly_once(out_features, in_features):
+    """Tiles partition the weight matrix: full coverage, no overlap."""
+    mapping = TileMapping(PIM, out_features, in_features)
+    covered = sum(tile.weight_elements for tile in mapping.tiles())
+    assert covered == out_features * in_features
+    assert mapping.num_tiles == mapping.row_tiles * mapping.col_tiles
+    assert 0 < mapping.utilization() <= 1.0
+
+
+@given(
+    out_features=st.integers(min_value=1, max_value=2048),
+    in_features=st.integers(min_value=1, max_value=2048),
+)
+@settings(max_examples=60, deadline=None)
+def test_pim_gemv_time_monotone_in_matrix_size(out_features, in_features):
+    """A strictly larger weight matrix never computes faster on the PIM."""
+    device = PimDeviceModel(PIM)
+    base = device.gemv_time(out_features, in_features)
+    larger = device.gemv_time(out_features + PIM.tile_rows, in_features)
+    assert larger >= base
+    assert base > 0
+
+
+# ----------------------------------------------------------------------
+# NPU unit models
+# ----------------------------------------------------------------------
+@given(
+    tokens=st.integers(min_value=1, max_value=512),
+    d_in=st.integers(min_value=1, max_value=4096),
+    d_out=st.integers(min_value=1, max_value=4096),
+)
+@settings(max_examples=100, deadline=None)
+def test_matrix_unit_time_positive_and_monotone_in_tokens(tokens, d_in, d_out):
+    mu = MatrixUnitModel(SystemConfig.ianus().core.matrix_unit)
+    time = mu.matmul_time(tokens, d_in, d_out)
+    assert time > 0
+    assert mu.matmul_time(tokens + 128, d_in, d_out) >= time
+    assert mu.estimate(tokens, d_in, d_out).utilization <= 1.0
+
+
+@given(elements=st.integers(min_value=1, max_value=10**6),
+       ops=st.floats(min_value=0.5, max_value=8.0))
+@settings(max_examples=100, deadline=None)
+def test_vector_unit_time_monotone_in_elements(elements, ops):
+    vu = VectorUnitModel(SystemConfig.ianus().core.vector_unit)
+    assert vu.elementwise_time(elements, ops) <= vu.elementwise_time(elements * 2, ops)
+
+
+# ----------------------------------------------------------------------
+# Event engine invariants
+# ----------------------------------------------------------------------
+@st.composite
+def random_streams(draw):
+    """Random small DAGs of commands across all unit types."""
+    stream = CommandStream(label="random")
+    length = draw(st.integers(min_value=1, max_value=25))
+    units = [
+        (Unit.MATRIX_UNIT, OpKind.FC_QKV, (4, 256, 256)),
+        (Unit.VECTOR_UNIT, OpKind.LAYERNORM, (4, 256)),
+        (Unit.DMA_LOAD, OpKind.WEIGHT_LOAD, ()),
+        (Unit.DMA_STORE, OpKind.KV_STORE, ()),
+        (Unit.PIM, OpKind.PIM_GEMV, (1, 256, 256)),
+        (Unit.SYNC, OpKind.SYNC, ()),
+    ]
+    for index in range(length):
+        unit, kind, dims = draw(st.sampled_from(units))
+        num_deps = draw(st.integers(min_value=0, max_value=min(3, index)))
+        deps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=index - 1),
+                min_size=num_deps, max_size=num_deps, unique=True,
+            )
+        ) if index else []
+        stream.add(unit, kind, dims=dims, bytes_moved=4096, deps=deps)
+    return stream
+
+
+@given(stream=random_streams())
+@settings(max_examples=60, deadline=None)
+def test_event_engine_respects_dependencies_and_resources(stream):
+    engine = EventEngine(SystemConfig.ianus())
+    timeline = engine.simulate(stream)
+    scheduled = {c.cid: c for c in timeline.commands}
+    # Dependencies are respected.
+    for command in stream:
+        for dep in command.deps:
+            assert scheduled[command.cid].start >= scheduled[dep].end - 1e-12
+    # Commands on the same single-instance unit never overlap.
+    for unit in (Unit.MATRIX_UNIT, Unit.VECTOR_UNIT, Unit.DMA_LOAD, Unit.DMA_STORE):
+        windows = sorted(
+            (c.start, c.end) for c in timeline.commands if c.unit is unit
+        )
+        for (s1, e1), (s2, _) in zip(windows, windows[1:]):
+            assert s2 >= e1 - 1e-12
+    # The makespan bounds every command.
+    assert all(c.end <= timeline.makespan + 1e-12 for c in timeline.commands)
+
+
+@given(stream=random_streams())
+@settings(max_examples=30, deadline=None)
+def test_naive_schedule_never_faster_than_pas(stream):
+    from repro.config import SchedulingPolicy
+
+    pas = EventEngine(SystemConfig.ianus()).simulate(stream).makespan
+    naive = EventEngine(
+        SystemConfig.ianus(scheduling=SchedulingPolicy.NAIVE)
+    ).simulate(stream).makespan
+    assert naive >= pas - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Functional numerics
+# ----------------------------------------------------------------------
+@given(
+    rows=st.integers(min_value=1, max_value=80),
+    cols=st.integers(min_value=1, max_value=1200),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_pim_functional_gemv_matches_bf16_matmul(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    weights = (rng.standard_normal((rows, cols)) * 0.1).astype(np.float32)
+    x = rng.standard_normal(cols).astype(np.float32)
+    device = PimFunctionalDevice(PIM)
+    device.store_weight("w", weights)
+    result = device.gemv("w", x)
+    reference = to_bf16(weights).astype(np.float32) @ to_bf16(x).astype(np.float32)
+    assert np.allclose(result, reference, rtol=3e-2, atol=3e-2)
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_softmax_is_a_probability_distribution(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal((rows, cols)).astype(np.float32) * 10
+    probabilities = softmax(scores)
+    assert np.all(probabilities >= 0)
+    assert np.allclose(probabilities.sum(axis=-1), 1.0, atol=1e-5)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=50, deadline=None)
+def test_bf16_quantisation_idempotent_and_bounded(seed):
+    rng = np.random.default_rng(seed)
+    x = (rng.standard_normal(128) * rng.choice([1e-3, 1.0, 1e3])).astype(np.float32)
+    quantised = to_bf16(x)
+    assert np.array_equal(to_bf16(quantised), quantised)
+    nonzero = np.abs(x) > 0
+    relative = np.abs(quantised[nonzero] - x[nonzero]) / np.abs(x[nonzero])
+    assert np.all(relative <= 2.0 ** -8)
+
+
+# ----------------------------------------------------------------------
+# Workload expansion
+# ----------------------------------------------------------------------
+@given(
+    input_tokens=st.integers(min_value=1, max_value=2048),
+    output_tokens=st.integers(min_value=0, max_value=512),
+)
+@settings(max_examples=100, deadline=None)
+def test_workload_stage_expansion_invariants(input_tokens, output_tokens):
+    from repro.models import Stage, Workload
+
+    workload = Workload(input_tokens, output_tokens)
+    stages = list(workload.stages())
+    assert stages[0].stage is Stage.SUMMARIZATION
+    assert len(stages) == 1 + max(0, output_tokens - 1)
+    assert sum(s.num_tokens for s in stages) == input_tokens + max(0, output_tokens - 1)
+    kv_lengths = [s.kv_length for s in stages]
+    assert kv_lengths == sorted(kv_lengths)
+    assert kv_lengths[-1] <= workload.total_tokens
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,106 @@
+"""Tests for the roofline analysis helpers (the Sec. 3.1 motivation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.roofline import (
+    OperatorIntensity,
+    Platform,
+    block_operator_intensities,
+    bound_fraction,
+    classify_operator,
+)
+from repro.config import SystemConfig
+from repro.models import GPT2_CONFIGS, Stage
+from repro.models.workload import StagePass
+
+
+class TestPlatforms:
+    def test_ridge_points_positive(self):
+        for platform in (Platform.ianus_npu(), Platform.ianus_pim(), Platform.a100(), Platform.dfx()):
+            assert platform.ridge_point > 0
+
+    def test_pim_ridge_point_far_below_npu(self):
+        """The PIM's compute/bandwidth ratio is tiny: it tolerates intensity ~1."""
+        assert Platform.ianus_pim().ridge_point < Platform.ianus_npu().ridge_point / 10
+
+    def test_dfx_ridge_point_below_gpu(self):
+        """DFX matches FLOPS to bandwidth, so its ridge point is very low."""
+        assert Platform.dfx().ridge_point < Platform.a100().ridge_point / 10
+
+    def test_npu_mem_platform_uses_external_bandwidth(self):
+        platform = Platform.ianus_npu(SystemConfig.npu_mem())
+        assert platform.memory_bandwidth == pytest.approx(256e9)
+
+
+class TestOperatorIntensities:
+    def test_generation_fc_intensity_is_about_two(self):
+        """A matrix-vector product reads each weight once: ~2 FLOPs/byte."""
+        operators = {
+            op.name: op
+            for op in block_operator_intensities(
+                GPT2_CONFIGS["xl"], StagePass(Stage.GENERATION, 1, 256)
+            )
+        }
+        assert 0.5 <= operators["ffn1"].intensity <= 4.0
+
+    def test_summarization_fc_intensity_scales_with_tokens(self):
+        model = GPT2_CONFIGS["xl"]
+        few = block_operator_intensities(model, StagePass(Stage.SUMMARIZATION, 16, 16))
+        many = block_operator_intensities(model, StagePass(Stage.SUMMARIZATION, 512, 512))
+        few_ffn = next(op for op in few if op.name == "ffn1")
+        many_ffn = next(op for op in many if op.name == "ffn1")
+        assert many_ffn.intensity > 10 * few_ffn.intensity
+
+    def test_vector_operators_have_tiny_intensity(self):
+        operators = block_operator_intensities(
+            GPT2_CONFIGS["m"], StagePass(Stage.GENERATION, 1, 256)
+        )
+        layernorm = next(op for op in operators if op.name == "layernorm")
+        assert layernorm.intensity < 5.0
+
+    def test_zero_byte_operator_is_infinite_intensity(self):
+        assert OperatorIntensity("x", 10.0, 0).intensity == float("inf")
+
+
+class TestClassification:
+    def test_generation_fcs_memory_bound_on_gpu_and_npu(self):
+        model = GPT2_CONFIGS["xl"]
+        operators = block_operator_intensities(model, StagePass(Stage.GENERATION, 1, 256))
+        ffn = next(op for op in operators if op.name == "ffn1")
+        assert classify_operator(ffn, Platform.a100()) == "memory-bound"
+        assert classify_operator(ffn, Platform.ianus_npu()) == "memory-bound"
+
+    def test_summarization_fcs_compute_bound_on_gpu(self):
+        model = GPT2_CONFIGS["xl"]
+        operators = block_operator_intensities(model, StagePass(Stage.SUMMARIZATION, 512, 512))
+        ffn = next(op for op in operators if op.name == "ffn1")
+        assert classify_operator(ffn, Platform.a100()) == "compute-bound"
+
+    def test_summarization_intensity_far_above_generation(self):
+        model = GPT2_CONFIGS["xl"]
+        summ = block_operator_intensities(model, StagePass(Stage.SUMMARIZATION, 512, 512))
+        gen = block_operator_intensities(model, StagePass(Stage.GENERATION, 1, 256))
+        summ_ffn = next(op for op in summ if op.name == "ffn1")
+        gen_ffn = next(op for op in gen if op.name == "ffn1")
+        assert summ_ffn.intensity > 100 * gen_ffn.intensity
+
+    def test_pim_ridge_point_matches_gemv_intensity(self):
+        """The PIM is balanced for matrix-vector work: its ridge point sits at
+        the ~2 FLOPs per weight byte a GEMV provides (here ~1 FLOP/byte when
+        activations are also counted)."""
+        model = GPT2_CONFIGS["xl"]
+        operators = block_operator_intensities(model, StagePass(Stage.GENERATION, 1, 256))
+        ffn = next(op for op in operators if op.name == "ffn1")
+        ridge = Platform.ianus_pim().ridge_point
+        assert ffn.intensity == pytest.approx(ridge, rel=0.1)
+
+    def test_bound_fraction_generation_vs_summarization(self):
+        """Sec. 3.1: generation is overwhelmingly memory bound, summarization is not."""
+        model = GPT2_CONFIGS["xl"]
+        platform = Platform.a100()
+        generation = bound_fraction(model, Stage.GENERATION, platform)
+        summarization = bound_fraction(model, Stage.SUMMARIZATION, platform, num_tokens=512)
+        assert generation > 0.9
+        assert summarization < 0.5

@@ -1,0 +1,233 @@
+"""Tests for the duration model, the event engine and the PAS/naive policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import Compiler
+from repro.config import (
+    MemoryPolicy,
+    SchedulingPolicy,
+    SystemConfig,
+)
+from repro.ir import CommandStream, OpKind, PimScope, Unit
+from repro.models import GPT2_CONFIGS
+from repro.models.workload import Stage, StagePass
+from repro.scheduling import (
+    DurationModel,
+    EventEngine,
+    NaiveScheduler,
+    PimAccessScheduler,
+    SchedulingReport,
+)
+
+GEN_PASS = StagePass(Stage.GENERATION, 1, 256)
+
+
+class TestDurationModel:
+    def test_matrix_unit_duration_matches_unit_model(self, durations):
+        stream = CommandStream()
+        command = stream.add(Unit.MATRIX_UNIT, OpKind.FC_QKV, dims=(8, 1024, 1024))
+        assert durations.duration(command) == pytest.approx(
+            durations.npu.matrix_unit.matmul_time(8, 1024, 1024)
+        )
+
+    def test_dma_duration_uses_per_core_bandwidth(self, durations, ianus_config):
+        stream = CommandStream()
+        command = stream.add(Unit.DMA_LOAD, OpKind.WEIGHT_LOAD, bytes_moved=2**20)
+        per_core = ianus_config.offchip_bandwidth / ianus_config.num_cores
+        expected = ianus_config.core.dma.offchip_latency_s + 2**20 / per_core
+        assert durations.duration(command) == pytest.approx(expected)
+
+    def test_pim_duration_single_chip_slower_than_all_chips(self, durations):
+        stream = CommandStream()
+        all_chips = stream.add(
+            Unit.PIM, OpKind.PIM_GEMV, dims=(1, 2048, 2048), pim_scope=PimScope.ALL_CHIPS
+        )
+        one_chip = stream.add(
+            Unit.PIM, OpKind.PIM_GEMV, dims=(1, 2048, 2048), pim_scope=PimScope.SINGLE_CHIP
+        )
+        assert durations.duration(one_chip) > durations.duration(all_chips)
+
+    def test_pim_duration_raises_when_pim_disabled(self, npu_mem_config):
+        durations = DurationModel(npu_mem_config)
+        stream = CommandStream()
+        command = stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 64, 64))
+        with pytest.raises(ValueError):
+            durations.duration(command)
+
+    def test_sync_duration_is_small_and_fixed(self, durations):
+        stream = CommandStream()
+        command = stream.add(Unit.SYNC, OpKind.SYNC)
+        assert 0 < durations.duration(command) < 5e-6
+
+    def test_host_duration_scales_with_device_count(self, durations):
+        stream = CommandStream()
+        two = stream.add(Unit.HOST, OpKind.DEVICE_COMM, bytes_moved=4096, dims=(2,))
+        eight = stream.add(Unit.HOST, OpKind.DEVICE_COMM, bytes_moved=4096, dims=(8,))
+        assert durations.duration(eight) > durations.duration(two)
+
+    def test_vector_unit_kinds_have_distinct_models(self, durations):
+        stream = CommandStream()
+        softmax = stream.add(Unit.VECTOR_UNIT, OpKind.SOFTMAX, dims=(1, 2048))
+        layernorm = stream.add(Unit.VECTOR_UNIT, OpKind.LAYERNORM, dims=(1, 2048))
+        assert durations.duration(softmax) != durations.duration(layernorm)
+
+    def test_fc_on_pim_time_infinite_without_pim(self, npu_mem_config):
+        durations = DurationModel(npu_mem_config)
+        assert durations.fc_on_pim_time(1, 1024, 1024) == float("inf")
+
+
+class _StreamBuilder:
+    """Small synthetic streams for engine-behaviour tests."""
+
+    @staticmethod
+    def independent_mu_and_vu() -> CommandStream:
+        stream = CommandStream()
+        stream.add(Unit.MATRIX_UNIT, OpKind.FC_QKV, dims=(128, 2048, 2048))
+        stream.add(Unit.VECTOR_UNIT, OpKind.LAYERNORM, dims=(128, 2048))
+        return stream
+
+    @staticmethod
+    def pim_and_dma(dependent: bool) -> CommandStream:
+        stream = CommandStream()
+        pim = stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 2048, 2048),
+                         bytes_moved=2048 * 2048 * 2)
+        deps = [pim] if dependent else []
+        stream.add(Unit.DMA_LOAD, OpKind.WEIGHT_LOAD, bytes_moved=2**20, deps=deps)
+        return stream
+
+
+class TestEventEngine:
+    def test_independent_commands_overlap(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        timeline = engine.simulate(_StreamBuilder.independent_mu_and_vu())
+        busy_sum = timeline.busy_time(Unit.MATRIX_UNIT) + timeline.busy_time(Unit.VECTOR_UNIT)
+        assert timeline.makespan < busy_sum
+
+    def test_dependencies_serialise(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        stream = CommandStream()
+        first = stream.add(Unit.MATRIX_UNIT, OpKind.FC_QKV, dims=(128, 2048, 2048))
+        stream.add(Unit.MATRIX_UNIT, OpKind.FC_PROJ, dims=(128, 2048, 2048), deps=[first])
+        timeline = engine.simulate(stream)
+        assert timeline.commands[1].start >= timeline.commands[0].end
+
+    def test_same_unit_commands_serialise(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        stream = CommandStream()
+        stream.add(Unit.MATRIX_UNIT, OpKind.FC_QKV, dims=(128, 2048, 2048))
+        stream.add(Unit.MATRIX_UNIT, OpKind.FC_PROJ, dims=(128, 2048, 2048))
+        timeline = engine.simulate(stream)
+        assert timeline.commands[1].start >= timeline.commands[0].end
+
+    def test_unified_memory_blocks_dma_during_pim(self, ianus_config):
+        """Sec. 4.3: off-chip DMA waits while a PIM macro executes."""
+        engine = EventEngine(ianus_config)
+        timeline = engine.simulate(_StreamBuilder.pim_and_dma(dependent=False))
+        pim_end = timeline.commands[0].end
+        assert timeline.commands[1].start >= pim_end
+
+    def test_partitioned_memory_allows_overlap(self):
+        config = SystemConfig.partitioned()
+        engine = EventEngine(config)
+        timeline = engine.simulate(_StreamBuilder.pim_and_dma(dependent=False))
+        # The DMA can start while the PIM macro is still executing.
+        assert timeline.commands[1].start < timeline.commands[0].end
+
+    def test_naive_policy_makes_pim_a_barrier(self):
+        config = SystemConfig.ianus(scheduling=SchedulingPolicy.NAIVE)
+        engine = EventEngine(config)
+        stream = CommandStream()
+        stream.add(Unit.MATRIX_UNIT, OpKind.FC_QKV, dims=(128, 2048, 2048))
+        stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 2048, 2048),
+                   bytes_moved=2048 * 2048 * 2)
+        stream.add(Unit.VECTOR_UNIT, OpKind.LAYERNORM, dims=(1, 2048))
+        timeline = engine.simulate(stream)
+        # The PIM command starts only after the MU command ends, and the VU
+        # command starts only after the PIM command ends.
+        assert timeline.commands[1].start >= timeline.commands[0].end
+        assert timeline.commands[2].start >= timeline.commands[1].end
+
+    def test_pas_policy_overlaps_pim_with_npu(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        stream = CommandStream()
+        stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 4096, 4096),
+                   bytes_moved=4096 * 4096 * 2)
+        stream.add(Unit.MATRIX_UNIT, OpKind.QKT, dims=(1, 64, 512))
+        timeline = engine.simulate(stream)
+        assert timeline.commands[1].start < timeline.commands[0].end
+
+    def test_single_chip_pim_commands_run_concurrently_on_different_chips(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        stream = CommandStream()
+        stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 1536, 64),
+                   pim_scope=PimScope.SINGLE_CHIP, pim_chip=0)
+        stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 1536, 64),
+                   pim_scope=PimScope.SINGLE_CHIP, pim_chip=1)
+        timeline = engine.simulate(stream)
+        assert timeline.commands[1].start < timeline.commands[0].end
+
+    def test_all_chip_pim_command_waits_for_single_chip_ones(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        stream = CommandStream()
+        stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 1536, 64),
+                   pim_scope=PimScope.SINGLE_CHIP, pim_chip=2)
+        stream.add(Unit.PIM, OpKind.PIM_GEMV, dims=(1, 1536, 1536),
+                   pim_scope=PimScope.ALL_CHIPS)
+        timeline = engine.simulate(stream)
+        assert timeline.commands[1].start >= timeline.commands[0].end
+
+    def test_stats_accumulate_activity(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        timeline = engine.simulate(_StreamBuilder.pim_and_dma(dependent=True))
+        assert timeline.stats.pim_weight_bytes == 2048 * 2048 * 2
+        assert timeline.stats.offchip_read_bytes == 2**20
+        assert timeline.stats.pim_macro_commands == 1
+        assert timeline.stats.pim_row_activations > 0
+
+    def test_breakdown_by_tag_uses_interval_union(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        stream = CommandStream()
+        first = stream.add(Unit.MATRIX_UNIT, OpKind.FC_QKV, dims=(8, 512, 512), tag="A")
+        stream.add(Unit.MATRIX_UNIT, OpKind.FC_PROJ, dims=(8, 512, 512), deps=[first], tag="A")
+        timeline = engine.simulate(stream)
+        breakdown = timeline.breakdown_by_tag()
+        assert breakdown["A"] == pytest.approx(timeline.makespan)
+
+    def test_makespan_of_empty_stream_is_zero(self, ianus_config):
+        engine = EventEngine(ianus_config)
+        assert engine.simulate(CommandStream()).makespan == 0.0
+
+
+class TestSchedulers:
+    def test_pas_beats_naive_on_generation_block(self, gpt2_xl):
+        config = SystemConfig.ianus()
+        stream = Compiler(config).compile_block(gpt2_xl, GEN_PASS).stream
+        pas = PimAccessScheduler(config)
+        comparison = pas.compare_with_naive(stream)
+        assert comparison["speedup"] > 1.0
+
+    def test_naive_scheduler_forces_policy(self):
+        scheduler = NaiveScheduler(SystemConfig.ianus())
+        assert scheduler.config.scheduling is SchedulingPolicy.NAIVE
+
+    def test_scheduling_report_overlap_fraction(self, gpt2_xl):
+        config = SystemConfig.ianus()
+        stream = Compiler(config).compile_block(gpt2_xl, GEN_PASS).stream
+        report = PimAccessScheduler(config).report(stream)
+        assert isinstance(report, SchedulingReport)
+        assert 0.0 <= report.overlap_fraction < 1.0
+        assert report.makespan > 0
+        assert report.pim_busy > 0
+
+    def test_core_scaling_of_stats(self, ianus_config, gpt2_xl):
+        config = ianus_config
+        stream = Compiler(config).compile_block(gpt2_xl, GEN_PASS).stream
+        timeline = EventEngine(config).simulate(stream)
+        scaled = timeline.stats.with_core_scaling(config.num_cores)
+        assert scaled.offchip_read_bytes == timeline.stats.offchip_read_bytes * 4
+        assert scaled.pim_weight_bytes == timeline.stats.pim_weight_bytes
+
+    def test_unified_policy_consistency(self, ianus_config):
+        assert ianus_config.memory_policy is MemoryPolicy.UNIFIED

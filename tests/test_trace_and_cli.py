@@ -1,0 +1,114 @@
+"""Tests for timeline traces (Gantt/export) and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.trace import overlap_matrix, render_gantt, timeline_to_records
+from repro.cli import build_parser, main
+from repro.compiler import Compiler
+from repro.config import SystemConfig
+from repro.models import GPT2_CONFIGS
+from repro.models.workload import Stage, StagePass
+from repro.scheduling import EventEngine, Timeline
+
+
+@pytest.fixture(scope="module")
+def generation_timeline() -> Timeline:
+    config = SystemConfig.ianus()
+    stream = Compiler(config).compile_block(
+        GPT2_CONFIGS["m"], StagePass(Stage.GENERATION, 1, 192)
+    ).stream
+    return EventEngine(config).simulate(stream)
+
+
+class TestTraceExport:
+    def test_records_cover_every_command(self, generation_timeline):
+        records = timeline_to_records(generation_timeline)
+        assert len(records) == len(generation_timeline.commands)
+        first = records[0]
+        assert {"cid", "unit", "kind", "tag", "start_us", "end_us", "duration_us"} <= set(first)
+
+    def test_records_are_json_serialisable(self, generation_timeline):
+        import json
+
+        encoded = json.dumps(timeline_to_records(generation_timeline))
+        assert isinstance(encoded, str) and len(encoded) > 100
+
+    def test_gantt_has_one_lane_per_active_unit(self, generation_timeline):
+        chart = render_gantt(generation_timeline, width=100)
+        assert "matrix unit" in chart
+        assert "pim" in chart
+        assert "#" in chart
+
+    def test_gantt_rejects_tiny_width(self, generation_timeline):
+        with pytest.raises(ValueError):
+            render_gantt(generation_timeline, width=10)
+
+    def test_gantt_of_empty_timeline(self):
+        from repro.scheduling.events import ActivityStats
+
+        empty = Timeline(commands=[], stats=ActivityStats())
+        assert "empty" in render_gantt(empty)
+
+    def test_overlap_matrix_shows_pim_npu_overlap(self, generation_timeline):
+        matrix = overlap_matrix(generation_timeline)
+        pim_pairs = {pair: value for pair, value in matrix.items() if "pim" in pair}
+        assert pim_pairs
+        assert any(value > 0 for value in pim_pairs.values())
+
+    def test_overlap_matrix_symmetric_by_construction(self, generation_timeline):
+        matrix = overlap_matrix(generation_timeline)
+        assert all(first < second for (first, second) in matrix)
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "gpt2-xl" in output
+        assert "fig08" in output
+        assert "ianus" in output
+
+    def test_simulate_command_default_backend(self, capsys):
+        code = main([
+            "simulate", "--model", "gpt2-m", "--input-tokens", "32",
+            "--output-tokens", "4",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "total" in output
+        assert "ms/token" in output
+
+    def test_simulate_with_gantt(self, capsys):
+        code = main([
+            "simulate", "--model", "gpt2-m", "--input-tokens", "16",
+            "--output-tokens", "2", "--gantt",
+        ])
+        assert code == 0
+        assert "matrix unit" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", ["npu-mem", "a100", "dfx"])
+    def test_simulate_other_backends(self, backend, capsys):
+        code = main([
+            "simulate", "--model", "gpt2-m", "--backend", backend,
+            "--input-tokens", "32", "--output-tokens", "2",
+        ])
+        assert code == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_invalid_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backend", "tpu"])
