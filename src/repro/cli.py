@@ -14,6 +14,12 @@ Three sub-commands cover the common workflows without writing any Python:
 
 ``python -m repro list``
     List the available models, backends and experiments.
+
+``python -m repro bench``
+    Run experiments through the parallel runner (``--jobs N``), print
+    per-experiment wall-clock timings plus pass-cost cache statistics, and
+    optionally dump a machine-readable ``BENCH_*.json`` timing report
+    (``--json PATH``) for diffing performance across PRs.
 """
 
 from __future__ import annotations
@@ -77,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--full", action="store_true",
                             help="run the slower, more exhaustive variants")
 
+    bench = subparsers.add_parser(
+        "bench", help="time experiment regeneration (optionally in parallel)"
+    )
+    bench.add_argument("ids", nargs="*",
+                       help="experiment identifiers (default: all registered)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process, shares caches)")
+    bench.add_argument("--full", action="store_true",
+                       help="run the slower, more exhaustive variants")
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="write a BENCH_*.json-compatible timing report")
+    bench.add_argument("--show-tables", action="store_true",
+                       help="also print every regenerated table")
+
     subparsers.add_parser("list", help="list models, backends and experiments")
     return parser
 
@@ -124,6 +144,51 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.perf import global_pass_cache, run_many, write_report
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [identifier for identifier in ids if identifier not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print(f"known experiments: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+
+    outcome = run_many(ids, fast=not args.full, jobs=args.jobs)
+    print(outcome.report.to_text())
+
+    if outcome.report.jobs == 1:
+        stats = global_pass_cache().stats()
+        print(
+            f"pass-cost cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"({stats['hit_rate']:.0%} hit rate, {stats['size']} entries)"
+        )
+    else:
+        print("pass-cost cache: per-worker (run with --jobs 1 for statistics)")
+
+    if args.show_tables:
+        for identifier in ids:
+            result = outcome.results.get(identifier)
+            if result is not None:
+                print("=" * 80)
+                print(result.to_text())
+                print()
+
+    if args.json:
+        try:
+            path = write_report(outcome.report, args.json)
+        except OSError as error:
+            print(f"cannot write timing report to {args.json}: {error}", file=sys.stderr)
+            return 1
+        print(f"timing report written to {path}")
+
+    return 0 if all(t.ok for t in outcome.report.timings) else 1
+
+
 def _run_list() -> int:
     from repro.experiments.registry import EXPERIMENTS
 
@@ -148,6 +213,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_simulate(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "list":
         return _run_list()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

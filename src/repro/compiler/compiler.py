@@ -81,12 +81,42 @@ class Compiler:
         self.durations = durations or DurationModel(config)
         self.mapper = AdaptiveMapper(config, self.durations)
         self.num_devices = num_devices
+        # Compiled streams depend only on (model, stage, tokens, kv) for a
+        # fixed configuration/device count, so they are memoized per compiler;
+        # fast-mode generation recompiles the identical LM head and embedding
+        # for every sampled KV length otherwise.
+        self._block_cache: dict[tuple, CompiledBlock] = {}
+        self._embedding_cache: dict[tuple, CommandStream] = {}
+        self._lm_head_cache: dict[ModelConfig, CompiledBlock] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def clear_caches(self) -> None:
+        """Drop every memoized stream (and reset the hit/miss counters)."""
+        self._block_cache.clear()
+        self._embedding_cache.clear()
+        self._lm_head_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Block compilation
     # ------------------------------------------------------------------
     def compile_block(self, model: ModelConfig, stage_pass: StagePass) -> CompiledBlock:
-        """Compile one transformer block for one pass of one stage."""
+        """Compile one transformer block for one pass of one stage (memoized)."""
+        key = (model, stage_pass.stage, stage_pass.num_tokens, stage_pass.kv_length)
+        cached = self._block_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        block = self._compile_block_uncached(model, stage_pass)
+        self._block_cache[key] = block
+        return block
+
+    def _compile_block_uncached(
+        self, model: ModelConfig, stage_pass: StagePass
+    ) -> CompiledBlock:
         partition = WeightPartitioner(
             self.config, model, num_devices=self.num_devices
         ).partition()
@@ -323,6 +353,12 @@ class Compiler:
     # ------------------------------------------------------------------
     def compile_embedding(self, model: ModelConfig, num_tokens: int) -> CommandStream:
         """Token + position embedding lookup (a gather from main memory)."""
+        key = (model, num_tokens)
+        cached = self._embedding_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
         stream = CommandStream(label=f"{model.name}/embedding/n{num_tokens}")
         load = stream.add(
             Unit.DMA_LOAD, OpKind.ACTIVATION_LOAD,
@@ -336,10 +372,16 @@ class Compiler:
             deps=[load], tag=TAG_EMBEDDING,
         )
         stream.validate()
+        self._embedding_cache[key] = stream
         return stream
 
     def compile_lm_head(self, model: ModelConfig) -> CompiledBlock:
         """LM head: logits of the last token (matrix-vector with the vocab)."""
+        cached = self._lm_head_cache.get(model)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
         partition = WeightPartitioner(
             self.config, model, num_devices=self.num_devices
         ).partition()
@@ -361,6 +403,8 @@ class Compiler:
             unit=decision.unit, deps=[final_ln], tag=TAG_LM_HEAD,
         )
         stream.validate()
-        return CompiledBlock(
+        block = CompiledBlock(
             stream=stream, partition=partition, fc_units={"lm_head": decision.unit}
         )
+        self._lm_head_cache[model] = block
+        return block

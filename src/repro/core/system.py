@@ -21,6 +21,7 @@ the full Fig. 8 sweep tractable in pure Python.
 from __future__ import annotations
 
 import bisect
+from dataclasses import replace
 
 from repro.compiler.compiler import Compiler
 from repro.config import MemoryPolicy, SystemConfig
@@ -30,6 +31,7 @@ from repro.memory import make_memory_system
 from repro.memory.unified import MemoryCapacityError
 from repro.models.transformer import ModelConfig
 from repro.models.workload import Stage, StagePass, Workload
+from repro.perf.cache import PassCostCache, config_fingerprint, global_pass_cache
 from repro.scheduling.durations import DurationModel
 from repro.scheduling.events import ActivityStats, EventEngine, Timeline
 
@@ -53,18 +55,36 @@ class IanusSystem:
         partitioned across devices the same way it is partitioned across
         cores, and activations are exchanged over the PCIe host interface at
         the block synchronisation points.
+    pass_cache:
+        Pass-cost cache policy: ``True`` (default) shares the process-wide
+        cache of :func:`repro.perf.cache.global_pass_cache`, ``None``/``False``
+        disables caching, and a :class:`repro.perf.cache.PassCostCache`
+        instance is used as-is.  Cached and uncached runs produce identical
+        results — the cache key covers every input of a pass simulation.
     """
 
-    def __init__(self, config: SystemConfig, num_devices: int = 1) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        num_devices: int = 1,
+        pass_cache: "PassCostCache | bool | None" = True,
+    ) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be at least 1")
         self.config = config
         self.num_devices = num_devices
-        self.durations = DurationModel(config)
+        self.durations = DurationModel.shared(config)
         self.compiler = Compiler(config, self.durations, num_devices=num_devices)
         self.engine = EventEngine(config, self.durations)
         self.energy_model = EnergyModel(config.energy)
         self.memory_system = make_memory_system(config)
+        if pass_cache is True:
+            self.pass_cache: PassCostCache | None = global_pass_cache()
+        elif isinstance(pass_cache, PassCostCache):
+            self.pass_cache = pass_cache
+        else:
+            self.pass_cache = None
+        self.config_fingerprint = config_fingerprint(config, num_devices)
 
     # ------------------------------------------------------------------
     @property
@@ -165,14 +185,46 @@ class IanusSystem:
         total_stats = ActivityStats()
         breakdown_acc: dict[str, float] = {}
         sample_kvs = sorted(sample_results)
+
+        # Tokens whose KV length is a sample are charged the simulated pass
+        # directly; the remaining tokens of each inter-sample segment share
+        # the same two bracketing samples, so the piecewise-linear integral is
+        # evaluated per segment (count and summed interpolation weight) rather
+        # than per token.
+        segment_counts: dict[int, int] = {}
+        segment_weights: dict[int, float] = {}
         for kv in kv_lengths:
-            latency, breakdown, stats, flops = self._interpolate(
-                kv, sample_kvs, sample_results
+            sampled = sample_results.get(kv)
+            if sampled is not None:
+                latency, breakdown, stats, flops = sampled
+                total_latency += latency
+                total_flops += flops
+                total_stats = total_stats.merge(stats)
+                breakdown_acc = merge_breakdowns(breakdown_acc, breakdown)
+                continue
+            position = bisect.bisect_left(sample_kvs, kv)
+            position = min(max(position, 1), len(sample_kvs) - 1)
+            low, high = sample_kvs[position - 1], sample_kvs[position]
+            weight = (kv - low) / (high - low) if high != low else 0.0
+            segment_counts[position] = segment_counts.get(position, 0) + 1
+            segment_weights[position] = segment_weights.get(position, 0.0) + weight
+
+        for position, count in segment_counts.items():
+            weight_sum = segment_weights[position]
+            low, high = sample_kvs[position - 1], sample_kvs[position]
+            lat_l, brk_l, stats_l, flops_l = sample_results[low]
+            lat_h, brk_h, stats_h, flops_h = sample_results[high]
+            total_latency += count * lat_l + weight_sum * (lat_h - lat_l)
+            total_flops += count * flops_l + weight_sum * (flops_h - flops_l)
+            segment_breakdown = {
+                tag: count * brk_l.get(tag, 0.0)
+                + weight_sum * (brk_h.get(tag, 0.0) - brk_l.get(tag, 0.0))
+                for tag in set(brk_l) | set(brk_h)
+            }
+            breakdown_acc = merge_breakdowns(breakdown_acc, segment_breakdown)
+            total_stats = total_stats.merge(stats_l.scaled(count - weight_sum)).merge(
+                stats_h.scaled(weight_sum)
             )
-            total_latency += latency
-            total_flops += flops
-            total_stats = total_stats.merge(stats)
-            breakdown_acc = merge_breakdowns(breakdown_acc, breakdown)
 
         return StageResult(
             latency_s=total_latency,
@@ -182,32 +234,37 @@ class IanusSystem:
             num_tokens=len(kv_lengths),
         )
 
-    @staticmethod
-    def _interpolate(kv: int, sample_kvs: list[int], sample_results: dict):
-        """Piecewise-linear interpolation of a pass cost between sampled KV lengths."""
-        if kv in sample_results:
-            return sample_results[kv]
-        position = bisect.bisect_left(sample_kvs, kv)
-        position = min(max(position, 1), len(sample_kvs) - 1)
-        low, high = sample_kvs[position - 1], sample_kvs[position]
-        weight = (kv - low) / (high - low) if high != low else 0.0
-        lat_l, brk_l, stats_l, flops_l = sample_results[low]
-        lat_h, brk_h, stats_h, flops_h = sample_results[high]
-        latency = lat_l + weight * (lat_h - lat_l)
-        flops = flops_l + weight * (flops_h - flops_l)
-        breakdown = {
-            tag: brk_l.get(tag, 0.0)
-            + weight * (brk_h.get(tag, 0.0) - brk_l.get(tag, 0.0))
-            for tag in set(brk_l) | set(brk_h)
-        }
-        stats = stats_l.scaled(1.0 - weight).merge(stats_h.scaled(weight))
-        return latency, breakdown, stats, flops
-
     # ------------------------------------------------------------------
     # One full pass through the model (all blocks + embedding + LM head)
     # ------------------------------------------------------------------
     def _pass_cost(self, model: ModelConfig, stage_pass: StagePass):
-        """Latency, breakdown, activity and FLOPs of one full model pass."""
+        """Latency, breakdown, activity and FLOPs of one full model pass.
+
+        Memoized in :attr:`pass_cache` under the configuration fingerprint
+        plus every pass input; see :mod:`repro.perf` for the key design.
+        """
+        cache = self.pass_cache
+        if cache is None:
+            return self._pass_cost_uncached(model, stage_pass)
+        key = (
+            self.config_fingerprint,
+            model,
+            stage_pass.stage,
+            stage_pass.num_tokens,
+            stage_pass.kv_length,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            latency, breakdown, stats, flops = hit
+            # Hand out fresh copies of the mutable pieces so callers can
+            # never alias (and corrupt) the cached entry.
+            return latency, dict(breakdown), replace(stats), flops
+        latency, breakdown, stats, flops = self._pass_cost_uncached(model, stage_pass)
+        # Store private copies of the mutable pieces for the same reason.
+        cache.put(key, (latency, dict(breakdown), replace(stats), flops))
+        return latency, breakdown, stats, flops
+
+    def _pass_cost_uncached(self, model: ModelConfig, stage_pass: StagePass):
         block = self.compiler.compile_block(model, stage_pass)
         block_timeline = self.engine.simulate(block.stream)
         block_latency = block_timeline.makespan + self._partitioned_penalty(model, stage_pass)

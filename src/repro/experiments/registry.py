@@ -29,7 +29,7 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "run_many"]
 
 #: Experiment id -> (description, runner).
 EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
@@ -71,3 +71,10 @@ def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
 def run_all(fast: bool = True) -> dict[str, ExperimentResult]:
     """Run every registered experiment (used to regenerate EXPERIMENTS.md)."""
     return {experiment_id: run_experiment(experiment_id, fast=fast) for experiment_id in EXPERIMENTS}
+
+
+def run_many(experiment_ids, fast: bool = True, jobs: int = 1):
+    """Timed (optionally parallel) runner; see :func:`repro.perf.runner.run_many`."""
+    from repro.perf.runner import run_many as _run_many
+
+    return _run_many(experiment_ids, fast=fast, jobs=jobs)

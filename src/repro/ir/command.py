@@ -88,7 +88,7 @@ class PimScope(str, Enum):
     SINGLE_CHIP = "single"
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """One schedulable unit of work.
 
@@ -116,8 +116,6 @@ class Command:
     pim_scope / pim_chip:
         For PIM commands, whether the macro occupies all chips or one chip
         (and which one).
-    duration:
-        Filled in by the engine (seconds).
     """
 
     cid: int

@@ -1,0 +1,73 @@
+"""Simulation performance subsystem: caching and a parallel experiment runner.
+
+The experiments regenerate the paper's figures by driving
+:meth:`repro.core.system.IanusSystem.run` hundreds of times with
+near-identical inputs (Fig. 8 sweeps 12 workloads x 4 models on one
+configuration, Fig. 15 sweeps 12 configurations, Fig. 17/18 sweep device
+counts).  This package makes those sweeps fast without changing a single
+number:
+
+:mod:`repro.perf.cache`
+    The pass-cost cache.  One entry memoizes the full result of
+    ``IanusSystem._pass_cost`` — ``(latency, breakdown, ActivityStats,
+    flops)`` for one pass of one stage — keyed by
+
+    ``(config fingerprint, num_devices, model, stage, num_tokens, kv_length)``
+
+    where the *config fingerprint* is a digest of every field of the frozen
+    :class:`repro.config.SystemConfig` (see
+    :func:`repro.perf.cache.config_fingerprint`).  Because every input that
+    influences a pass cost is part of the key, a hit returns exactly the
+    bytes a recomputation would produce; the cache can therefore stay global
+    (shared by every :class:`~repro.core.system.IanusSystem` in the process)
+    and survive across experiments.
+
+    Invalidation is explicit: :meth:`PassCostCache.clear` empties the cache,
+    :meth:`PassCostCache.invalidate` drops every entry of one configuration
+    fingerprint.  There is no implicit invalidation to reason about because
+    every key ingredient is immutable (frozen dataclasses and ints).  Hit and
+    miss counters (:meth:`PassCostCache.stats`) make cache behaviour
+    observable from the CLI (``repro bench``) and the tests.
+
+:mod:`repro.perf.runner`
+    ``run_many`` — a parallel experiment runner over
+    :data:`repro.experiments.registry.EXPERIMENTS` built on
+    :mod:`concurrent.futures`, with per-experiment wall-clock timing and a
+    machine-readable timing report compatible with pytest-benchmark's JSON
+    layout (``BENCH_*.json``), so perf regressions can be diffed across PRs.
+
+The third layer of the fast path lives where the hot loops are:
+:mod:`repro.scheduling.events` precomputes per-command durations and
+resource keys once per stream and builds lazy :class:`Timeline` objects
+(makespan, breakdowns and activity stats without materializing
+``ScheduledCommand`` objects), and :mod:`repro.compiler.compiler` memoizes
+compiled blocks per ``(model, stage, tokens, kv)``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import (
+    PassCostCache,
+    config_fingerprint,
+    global_pass_cache,
+    set_global_pass_cache,
+)
+from repro.perf.runner import (
+    ExperimentTiming,
+    RunManyResult,
+    TimingReport,
+    run_many,
+    write_report,
+)
+
+__all__ = [
+    "PassCostCache",
+    "config_fingerprint",
+    "global_pass_cache",
+    "set_global_pass_cache",
+    "ExperimentTiming",
+    "TimingReport",
+    "RunManyResult",
+    "run_many",
+    "write_report",
+]

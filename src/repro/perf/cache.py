@@ -1,0 +1,146 @@
+"""Pass-cost cache: memoization of full-model pass simulations.
+
+See the package docstring (:mod:`repro.perf`) for the cache-key and
+invalidation design.  The cache is deliberately a plain dictionary with FIFO
+eviction rather than an LRU: entries are small (a float, a small dict, an
+:class:`~repro.scheduling.events.ActivityStats` and a float), sweeps touch
+each key a handful of times in compilation order, and FIFO keeps ``get`` on
+the hit path allocation-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from threading import Lock
+
+from repro.config import SystemConfig
+
+__all__ = [
+    "config_fingerprint",
+    "PassCostCache",
+    "global_pass_cache",
+    "set_global_pass_cache",
+]
+
+#: Fingerprints are derived from the frozen ``SystemConfig`` dataclass repr,
+#: which includes every field (and nested frozen dataclass) deterministically.
+#: Keyed by the (hashable) configuration itself, so equal configurations map
+#: to the same digest no matter which instance carries them.  Bounded: design
+#: -space sweeps can touch thousands of configuration variants.
+_FINGERPRINTS: dict[tuple[SystemConfig, int], str] = {}
+_FINGERPRINTS_MAXSIZE = 4096
+
+
+def config_fingerprint(config: SystemConfig, num_devices: int = 1) -> str:
+    """Stable digest identifying one system configuration + device count.
+
+    Two configurations share a fingerprint exactly when every configuration
+    field compares equal; the device count is folded in because the compiler
+    partitions work differently per device count.
+    """
+    cache_key = (config, num_devices)
+    cached = _FINGERPRINTS.get(cache_key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha1(
+        f"{config!r}/devices={num_devices}".encode()
+    ).hexdigest()[:16]
+    if len(_FINGERPRINTS) >= _FINGERPRINTS_MAXSIZE:
+        _FINGERPRINTS.pop(next(iter(_FINGERPRINTS)))
+    _FINGERPRINTS[cache_key] = digest
+    return digest
+
+
+class PassCostCache:
+    """Bounded memo table for pass costs with hit/miss accounting.
+
+    Keys are tuples whose first element is the configuration fingerprint
+    (see :func:`config_fingerprint`); the remaining elements identify the
+    pass (model, stage, token count, KV length).  Values are whatever the
+    caller stores — :class:`~repro.core.system.IanusSystem` stores the
+    ``(latency, breakdown, stats, flops)`` tuple of ``_pass_cost``.
+    """
+
+    def __init__(self, maxsize: int = 16384) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key):
+        """Return the cached value or ``None``, updating the counters."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+            self._entries[key] = value
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry belonging to one configuration fingerprint.
+
+        Returns the number of entries removed.  Because keys embed the
+        fingerprint of an immutable configuration this is only needed when a
+        timing *model* changes underneath an identical configuration (e.g. a
+        monkeypatched duration model in a test).
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (for ``repro bench`` and the tests)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+#: Process-wide cache shared by every ``IanusSystem`` unless a caller opts
+#: out (``IanusSystem(config, pass_cache=None)``) or supplies its own.
+_GLOBAL_CACHE = PassCostCache()
+
+
+def global_pass_cache() -> PassCostCache:
+    """The process-wide pass-cost cache."""
+    return _GLOBAL_CACHE
+
+
+def set_global_pass_cache(cache: PassCostCache) -> PassCostCache:
+    """Replace the process-wide cache (returns the previous one)."""
+    global _GLOBAL_CACHE
+    previous = _GLOBAL_CACHE
+    _GLOBAL_CACHE = cache
+    return previous

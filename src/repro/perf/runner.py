@@ -1,0 +1,210 @@
+"""Parallel experiment runner with machine-readable timing reports.
+
+``run_many`` drives any subset of :data:`repro.experiments.registry.EXPERIMENTS`
+either serially or over a :class:`concurrent.futures.ProcessPoolExecutor`,
+times every experiment individually, and packages the timings into a
+:class:`TimingReport` whose JSON serialisation follows pytest-benchmark's
+``BENCH_*.json`` layout (a top-level ``benchmarks`` list with per-entry
+``stats``), so existing benchmark-diffing tooling can consume it directly.
+
+Worker processes import :mod:`repro.experiments.registry` themselves, which
+means each worker builds its own pass-cost cache; the per-experiment wall
+clock therefore includes that warm-up, exactly like a fresh CLI invocation.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = [
+    "ExperimentTiming",
+    "TimingReport",
+    "RunManyResult",
+    "run_many",
+    "write_report",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentTiming:
+    """Wall-clock timing of one experiment run."""
+
+    experiment_id: str
+    seconds: float
+    rows: int
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass
+class TimingReport:
+    """Per-experiment timings of one ``run_many`` invocation."""
+
+    timings: list[ExperimentTiming] = field(default_factory=list)
+    total_seconds: float = 0.0
+    jobs: int = 1
+    fast: bool = True
+
+    def to_json_dict(self) -> dict:
+        """pytest-benchmark-compatible JSON document (``BENCH_*.json``)."""
+        return {
+            "machine_info": {
+                "python_version": platform.python_version(),
+                "python_implementation": platform.python_implementation(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+            },
+            "datetime": datetime.now(timezone.utc).isoformat(),
+            "version": "repro-bench-1.0",
+            "commit_info": {},
+            "benchmarks": [
+                {
+                    "name": timing.experiment_id,
+                    "fullname": f"repro bench::{timing.experiment_id}",
+                    "group": "experiments",
+                    "extra_info": {
+                        "rows": timing.rows,
+                        "ok": timing.ok,
+                        "error": timing.error,
+                        "fast": self.fast,
+                        "jobs": self.jobs,
+                    },
+                    "stats": {
+                        "min": timing.seconds,
+                        "max": timing.seconds,
+                        "mean": timing.seconds,
+                        "median": timing.seconds,
+                        "stddev": 0.0,
+                        "rounds": 1,
+                        "iterations": 1,
+                        "total": timing.seconds,
+                    },
+                }
+                for timing in self.timings
+            ],
+            "total_seconds": self.total_seconds,
+        }
+
+    def to_text(self) -> str:
+        lines = [f"{'experiment':<26} {'seconds':>9}  status"]
+        for timing in self.timings:
+            status = "ok" if timing.ok else f"FAILED: {timing.error}"
+            lines.append(
+                f"{timing.experiment_id:<26} {timing.seconds:>9.3f}  {status}"
+            )
+        lines.append(
+            f"{'total (wall clock)':<26} {self.total_seconds:>9.3f}  jobs={self.jobs}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class RunManyResult:
+    """Results plus timings of one multi-experiment run."""
+
+    results: dict[str, ExperimentResult]
+    report: TimingReport
+
+
+def _timed_run(experiment_id: str, fast: bool):
+    """Worker body: run one experiment and time it (must stay picklable)."""
+    from repro.experiments.registry import run_experiment
+
+    start = time.perf_counter()
+    try:
+        result = run_experiment(experiment_id, fast=fast)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        elapsed = time.perf_counter() - start
+        return experiment_id, elapsed, None, f"{type(exc).__name__}: {exc}"
+    elapsed = time.perf_counter() - start
+    return experiment_id, elapsed, result, ""
+
+
+def run_many(
+    experiment_ids: Sequence[str] | Iterable[str],
+    fast: bool = True,
+    jobs: int = 1,
+) -> RunManyResult:
+    """Run several registered experiments, optionally in parallel.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Identifiers from :data:`repro.experiments.registry.EXPERIMENTS`.
+    fast:
+        Forwarded to every experiment's ``run``.
+    jobs:
+        ``1`` runs serially in-process (sharing the process-wide pass-cost
+        cache across experiments); ``N > 1`` fans out over ``N`` worker
+        processes, each with its own cache.
+
+    Results are returned in the requested order regardless of completion
+    order, and a failing experiment is reported in the timing report instead
+    of aborting the remaining ones.
+    """
+    from repro.experiments.registry import EXPERIMENTS
+
+    ids = list(experiment_ids)
+    unknown = [identifier for identifier in ids if identifier not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; known: {sorted(EXPERIMENTS)}"
+        )
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+
+    wall_start = time.perf_counter()
+    outcomes: dict[str, tuple[float, ExperimentResult | None, str]] = {}
+    if jobs == 1 or len(ids) <= 1:
+        for identifier in ids:
+            _, elapsed, result, error = _timed_run(identifier, fast)
+            outcomes[identifier] = (elapsed, result, error)
+        jobs = 1
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(ids))
+        ) as pool:
+            futures = {
+                pool.submit(_timed_run, identifier, fast): identifier
+                for identifier in ids
+            }
+            for future in concurrent.futures.as_completed(futures):
+                identifier, elapsed, result, error = future.result()
+                outcomes[identifier] = (elapsed, result, error)
+    total = time.perf_counter() - wall_start
+
+    report = TimingReport(jobs=jobs, fast=fast, total_seconds=total)
+    results: dict[str, ExperimentResult] = {}
+    for identifier in ids:
+        elapsed, result, error = outcomes[identifier]
+        ok = error == "" and result is not None
+        rows = len(result.rows) if result is not None else 0
+        report.timings.append(
+            ExperimentTiming(
+                experiment_id=identifier,
+                seconds=elapsed,
+                rows=rows,
+                ok=ok,
+                error=error,
+            )
+        )
+        if result is not None:
+            results[identifier] = result
+    return RunManyResult(results=results, report=report)
+
+
+def write_report(report: TimingReport, path: str | Path) -> Path:
+    """Serialise a timing report to a ``BENCH_*.json``-compatible file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_json_dict(), indent=2) + "\n")
+    return path

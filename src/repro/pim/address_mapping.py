@@ -121,7 +121,7 @@ class AddressMapping:
         return self.config.capacity_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Tile:
     """One PIM weight tile (Fig. 4).
 

@@ -11,7 +11,7 @@ activation function, reading the accumulators back and precharging.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 __all__ = [
@@ -41,7 +41,7 @@ class MicroKind(str, Enum):
     PRECHARGE_ALL_BANKS = "pre_ab"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MacroPimCommand:
     """One macro PIM command: a complete matrix-vector style operation.
 
@@ -72,7 +72,7 @@ class MacroPimCommand:
         return self.out_features * self.in_features
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MicroPimCommand:
     """One micro PIM command targeting all banks of the involved channels."""
 
@@ -84,4 +84,6 @@ class MicroPimCommand:
     column_commands: int = 1
     #: Bytes carried over the external bus (global-buffer writes, result reads).
     bus_bytes: int = 0
-    metadata: dict = field(default_factory=dict)
+    #: Optional annotations (e.g. the tile index); ``None`` keeps the hot
+    #: decode path free of per-command dict allocations.
+    metadata: dict | None = None

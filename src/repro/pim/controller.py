@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import PimConfig
+from repro.config import BYTES_PER_ELEMENT, PimConfig
 from repro.pim.commands import MicroKind, MicroPimCommand
-from repro.pim.dram import DramChannelState
+from repro.pim.dram import DramBank
 
 __all__ = ["PimMemoryController", "MicroProgramResult", "NormalAccessResult"]
 
@@ -70,9 +70,16 @@ class PimMemoryController:
         pipelined-efficiency claim of the AiM design rests on; the overlap is
         modelled by tracking bus time and bank time separately and issuing
         each micro command at the later of the two as appropriate.
+
+        Every micro command of a macro program addresses *all* banks of the
+        channel with the same row, count and issue time, so the banks march
+        in lock-step through identical states.  The model therefore simulates
+        one representative bank and scales the per-bank statistics by the
+        bank count — the timing is exactly what a max() over sixteen equal
+        per-bank completion times would produce.
         """
-        timing = self.config.timing
-        channel = DramChannelState(timing=timing, num_banks=self.config.banks_per_channel)
+        num_banks = self.config.banks_per_channel
+        bank = DramBank(self.config.timing)
         channel_bw = self.config.channel_external_bandwidth  # bytes per second
 
         bank_time_ns = 0.0
@@ -82,43 +89,92 @@ class PimMemoryController:
         af_commands = 0
 
         for micro in micro_commands:
-            if micro.kind is MicroKind.WRITE_GLOBAL_BUFFER:
+            kind = micro.kind
+            if kind is MicroKind.WRITE_GLOBAL_BUFFER:
                 transfer_ns = micro.bus_bytes / channel_bw * 1e9
                 # The write may proceed while banks are busy with the previous
                 # tile's MACs: only the bus is occupied.
                 bus_time_ns = max(bus_time_ns, 0.0) + transfer_ns
                 bus_bytes += micro.bus_bytes
-            elif micro.kind is MicroKind.ACTIVATE_ALL_BANKS:
+            elif kind is MicroKind.ACTIVATE_ALL_BANKS:
                 # The tile's row can only be activated once its input segment
                 # is present in the global buffer.
                 start = max(bank_time_ns, bus_time_ns)
-                bank_time_ns = max(
-                    bank.activate(micro.row, start) for bank in channel.banks
-                )
-            elif micro.kind is MicroKind.MAC_ALL_BANKS:
-                bank_time_ns = max(
-                    bank.column_access(bank_time_ns, count=micro.column_commands)
-                    for bank in channel.banks
+                bank_time_ns = bank.activate(micro.row, start)
+            elif kind is MicroKind.MAC_ALL_BANKS:
+                bank_time_ns = bank.column_access(
+                    bank_time_ns, count=micro.column_commands
                 )
                 mac_columns += micro.column_commands
-            elif micro.kind is MicroKind.ACTIVATION_FUNCTION:
+            elif kind is MicroKind.ACTIVATION_FUNCTION:
                 af_ns = self.config.activation_cycles / self.config.pu_frequency_hz * 1e9
                 bank_time_ns += af_ns
                 af_commands += 1
-            elif micro.kind is MicroKind.READ_MAC_RESULT:
+            elif kind is MicroKind.READ_MAC_RESULT:
                 bank_time_ns += self.config.result_read_ns
                 bus_bytes += micro.bus_bytes
-            elif micro.kind is MicroKind.PRECHARGE_ALL_BANKS:
-                bank_time_ns = max(
-                    bank.precharge(bank_time_ns) for bank in channel.banks
-                )
+            elif kind is MicroKind.PRECHARGE_ALL_BANKS:
+                bank_time_ns = bank.precharge(bank_time_ns)
             else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown micro command kind {micro.kind}")
+                raise ValueError(f"unknown micro command kind {kind}")
 
         elapsed = max(bank_time_ns, bus_time_ns)
         return MicroProgramResult(
             elapsed_ns=elapsed,
-            row_activations=channel.total_activations(),
+            row_activations=bank.activations * num_banks,
+            mac_column_commands=mac_columns,
+            bus_bytes=bus_bytes,
+            activation_function_commands=af_commands,
+        )
+
+    # ------------------------------------------------------------------
+    def run_gemv_program(self, mapping, fused_gelu: bool = False) -> MicroProgramResult:
+        """Fused decode-and-execute of a GEMV macro command.
+
+        Semantically identical to decoding the macro with the PCU
+        (:meth:`repro.pim.pcu.PimControlUnit.decode`) and interpreting the
+        micro program with :meth:`run_micro_program` — the per-tile sequence
+        (global-buffer write, activate, MAC stream, optional activation
+        function, accumulator read on the last column tile, precharge) is
+        applied in the same order with the same operands — but without
+        materializing the micro-command objects, which dominates the cost of
+        estimating large (e.g. LM-head) operations.  Covered by an
+        equivalence test against the decode-then-interpret path.
+        """
+        bank = DramBank(self.config.timing)
+        channel_bw = self.config.channel_external_bandwidth
+        af_ns = self.config.activation_cycles / self.config.pu_frequency_hz * 1e9
+        in_features = mapping.in_features
+
+        bank_time_ns = 0.0
+        bus_time_ns = 0.0
+        bus_bytes = 0
+        mac_columns = 0
+        af_commands = 0
+
+        for tile in mapping.tiles():
+            segment_bytes = tile.used_cols * BYTES_PER_ELEMENT
+            transfer_ns = segment_bytes / channel_bw * 1e9
+            bus_time_ns = max(bus_time_ns, 0.0) + transfer_ns
+            bus_bytes += segment_bytes
+            start = max(bank_time_ns, bus_time_ns)
+            bank_time_ns = bank.activate(tile.row_address, start)
+            macs = mapping.mac_commands_per_tile(tile)
+            bank_time_ns = bank.column_access(bank_time_ns, count=macs)
+            mac_columns += macs
+            is_last_col_tile = (tile.col_start + tile.used_cols) >= in_features
+            if fused_gelu and is_last_col_tile:
+                bank_time_ns += af_ns
+                af_commands += 1
+            if is_last_col_tile:
+                bank_time_ns += self.config.result_read_ns
+                bus_bytes += tile.used_rows * BYTES_PER_ELEMENT
+            bank_time_ns = bank.precharge(bank_time_ns)
+
+        elapsed = max(bank_time_ns, bus_time_ns)
+        return MicroProgramResult(
+            elapsed_ns=elapsed,
+            row_activations=bank.activations * self.config.banks_per_channel,
             mac_column_commands=mac_columns,
             bus_bytes=bus_bytes,
             activation_function_commands=af_commands,

@@ -72,14 +72,12 @@ class PimControlUnit:
                 MicroPimCommand(
                     kind=MicroKind.WRITE_GLOBAL_BUFFER,
                     bus_bytes=segment_bytes,
-                    metadata={"tile": tile.index},
                 )
             )
             micro.append(
                 MicroPimCommand(
                     kind=MicroKind.ACTIVATE_ALL_BANKS,
                     row=tile.row_address,
-                    metadata={"tile": tile.index},
                 )
             )
             activations += 1
@@ -89,17 +87,13 @@ class PimControlUnit:
                     kind=MicroKind.MAC_ALL_BANKS,
                     row=tile.row_address,
                     column_commands=macs,
-                    metadata={"tile": tile.index},
                 )
             )
             mac_commands += macs
             is_last_col_tile = (tile.col_start + tile.used_cols) >= macro.in_features
             if macro.fused_gelu and is_last_col_tile:
                 micro.append(
-                    MicroPimCommand(
-                        kind=MicroKind.ACTIVATION_FUNCTION,
-                        metadata={"tile": tile.index},
-                    )
+                    MicroPimCommand(kind=MicroKind.ACTIVATION_FUNCTION)
                 )
             if is_last_col_tile:
                 result_bytes = tile.used_rows * 2
@@ -107,14 +101,12 @@ class PimControlUnit:
                     MicroPimCommand(
                         kind=MicroKind.READ_MAC_RESULT,
                         bus_bytes=result_bytes,
-                        metadata={"tile": tile.index},
                     )
                 )
             micro.append(
                 MicroPimCommand(
                     kind=MicroKind.PRECHARGE_ALL_BANKS,
                     row=tile.row_address,
-                    metadata={"tile": tile.index},
                 )
             )
         return DecodedMacro(

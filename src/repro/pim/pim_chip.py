@@ -12,14 +12,19 @@ full parameter sweeps fast without changing any result).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.config import BYTES_PER_ELEMENT, PimConfig
-from repro.pim.commands import MacroKind, MacroPimCommand
+from repro.pim.address_mapping import TileMapping
 from repro.pim.controller import PimMemoryController
 from repro.pim.pcu import PimControlUnit
 
 __all__ = ["PimDeviceModel", "PimOperationEstimate"]
+
+#: Process-wide GEMV estimate cache, shared by every :class:`PimDeviceModel`
+#: instance (keys embed the frozen ``PimConfig``, so equal configurations hit
+#: the same entries and different configurations can never collide).
+_ESTIMATE_CACHE: dict = {}
+_ESTIMATE_CACHE_MAXSIZE = 65536
 
 
 @dataclass(frozen=True)
@@ -65,7 +70,6 @@ class PimDeviceModel:
             )
         self.pcu = PimControlUnit(config)
         self.controller = PimMemoryController(config)
-        self._estimate_cached = lru_cache(maxsize=4096)(self._estimate_uncached)
 
     # ------------------------------------------------------------------
     def gemv(
@@ -77,7 +81,20 @@ class PimDeviceModel:
     ) -> PimOperationEstimate:
         """Estimate one matrix-vector multiplication ``y = W x`` on the PIM."""
         channels = channels or self.compute_channels
-        return self._estimate_cached(out_features, in_features, fused_gelu, channels)
+        # The estimate depends only on the (frozen) PIM configuration and the
+        # operation shape, so it is cached process-wide: parameter sweeps
+        # build many device models for equal configurations, and rebuilding a
+        # model must not discard the (expensive) micro-program simulations.
+        key = (self.config, out_features, in_features, fused_gelu, channels)
+        estimate = _ESTIMATE_CACHE.get(key)
+        if estimate is None:
+            estimate = self._estimate_uncached(
+                out_features, in_features, fused_gelu, channels
+            )
+            if len(_ESTIMATE_CACHE) >= _ESTIMATE_CACHE_MAXSIZE:
+                _ESTIMATE_CACHE.pop(next(iter(_ESTIMATE_CACHE)))
+            _ESTIMATE_CACHE[key] = estimate
+        return estimate
 
     def gemv_time(self, out_features: int, in_features: int, fused_gelu: bool = False) -> float:
         """Convenience accessor returning only the latency in seconds."""
@@ -98,19 +115,20 @@ class PimDeviceModel:
     def _estimate_uncached(
         self, out_features: int, in_features: int, fused_gelu: bool, channels: int
     ) -> PimOperationEstimate:
-        macro = MacroPimCommand(
-            kind=MacroKind.GEMV_GELU if fused_gelu else MacroKind.GEMV,
-            out_features=out_features,
-            in_features=in_features,
-            channels=channels,
-            fused_gelu=fused_gelu,
-        )
-        decoded = self.pcu.decode(macro)
         # Every participating channel executes the same micro program on its
         # own banks (all-bank, all-channel parallelism); the per-channel
         # timing therefore *is* the operation latency, plus the PCU decode
-        # latency which is pipelined and contributes once.
-        result = self.controller.run_micro_program(decoded.micro_commands)
+        # latency which is pipelined and contributes once.  The fused
+        # decode-and-execute path skips materializing the micro-command
+        # program; it is equivalent to
+        # ``controller.run_micro_program(pcu.decode(macro).micro_commands)``.
+        mapping = TileMapping(
+            self.config,
+            out_features=out_features,
+            in_features=in_features,
+            compute_channels=channels,
+        )
+        result = self.controller.run_gemv_program(mapping, fused_gelu=fused_gelu)
         seconds = (
             result.elapsed_s
             + self.pcu.DECODE_LATENCY_S
@@ -123,7 +141,7 @@ class PimDeviceModel:
             row_activations=result.row_activations * channels,
             mac_column_commands=result.mac_column_commands * channels,
             bus_bytes=result.bus_bytes,
-            tiles=decoded.tiles,
+            tiles=mapping.num_tiles,
             channels=channels,
         )
 

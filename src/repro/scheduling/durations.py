@@ -29,6 +29,25 @@ SYNC_LATENCY_S = 0.5e-6
 class DurationModel:
     """Maps commands to execution latencies for a given system configuration."""
 
+    #: Shared instances keyed by configuration: a duration model is immutable
+    #: and deterministic, so systems built for equal configurations can share
+    #: one instance (and its warm per-command duration cache).  Bounded so a
+    #: long design-space sweep cannot pin arbitrarily many models (each holds
+    #: a large per-command duration cache).
+    _SHARED: dict[SystemConfig, "DurationModel"] = {}
+    _SHARED_MAXSIZE = 64
+
+    @classmethod
+    def shared(cls, config: SystemConfig) -> "DurationModel":
+        """A process-wide duration model for ``config`` (warm caches)."""
+        model = cls._SHARED.get(config)
+        if model is None:
+            model = cls(config)
+            if len(cls._SHARED) >= cls._SHARED_MAXSIZE:
+                cls._SHARED.pop(next(iter(cls._SHARED)))
+            cls._SHARED[config] = model
+        return model
+
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         per_core_bandwidth = config.offchip_bandwidth / config.num_cores

@@ -16,12 +16,31 @@ The engine assigns a start and end time to every command of a
 The result is a :class:`Timeline` with the makespan, per-unit busy times, a
 per-tag interval union used for the Fig. 10 latency breakdown, and the
 activity statistics consumed by the energy model.
+
+Fast path
+---------
+Simulating the same stream object twice would redo work whose inputs cannot
+have changed, so the engine keeps two per-engine caches (weakly keyed by the
+stream object, guarded by the stream length so an appended-to stream is
+re-simulated):
+
+* a *preparation* record — per-command durations, resource keys, policy
+  flags and the aggregate :class:`ActivityStats`, all of which depend only on
+  the stream and this engine's configuration;
+* the finished :class:`Timeline` itself.
+
+:class:`Timeline` is lazy: the engine stores parallel arrays of start/end
+times and only materializes :class:`ScheduledCommand` objects when a caller
+asks for ``timeline.commands`` (the Gantt renderer, a handful of tests).
+Makespan, per-unit busy times, per-tag breakdowns and FLOP totals are
+computed from the arrays on first use and cached.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.config import MemoryPolicy, SchedulingPolicy, SystemConfig
 from repro.ir.command import Command, CommandStream, OpKind, PimScope, Unit
@@ -30,7 +49,7 @@ from repro.scheduling.durations import DurationModel
 __all__ = ["ScheduledCommand", "ActivityStats", "Timeline", "EventEngine"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduledCommand:
     """A command with its assigned execution window."""
 
@@ -48,7 +67,7 @@ class ScheduledCommand:
         return self.end - self.start
 
 
-@dataclass
+@dataclass(slots=True)
 class ActivityStats:
     """Aggregate activity counts used by the energy model."""
 
@@ -74,15 +93,18 @@ class ActivityStats:
         )
 
     def scaled(self, factor: float) -> "ActivityStats":
+        # Byte and event counters are rounded, not truncated: fast-mode
+        # interpolation scales by fractional weights, and truncation would
+        # systematically undercount the energy model's inputs.
         return ActivityStats(
-            offchip_read_bytes=int(self.offchip_read_bytes * factor),
-            offchip_write_bytes=int(self.offchip_write_bytes * factor),
-            pim_weight_bytes=int(self.pim_weight_bytes * factor),
-            pim_row_activations=int(self.pim_row_activations * factor),
+            offchip_read_bytes=round(self.offchip_read_bytes * factor),
+            offchip_write_bytes=round(self.offchip_write_bytes * factor),
+            pim_weight_bytes=round(self.pim_weight_bytes * factor),
+            pim_row_activations=round(self.pim_row_activations * factor),
             matrix_unit_flops=self.matrix_unit_flops * factor,
             vector_unit_flops=self.vector_unit_flops * factor,
-            onchip_bytes=int(self.onchip_bytes * factor),
-            pim_macro_commands=int(self.pim_macro_commands * factor),
+            onchip_bytes=round(self.onchip_bytes * factor),
+            pim_macro_commands=round(self.pim_macro_commands * factor),
         )
 
     def with_core_scaling(self, num_cores: int) -> "ActivityStats":
@@ -122,25 +144,133 @@ def _interval_union(intervals: list[tuple[float, float]]) -> float:
     return total
 
 
-@dataclass
 class Timeline:
-    """Execution schedule of one command stream."""
+    """Execution schedule of one command stream.
 
-    commands: list[ScheduledCommand]
-    stats: ActivityStats
-    label: str = ""
-    _busy_by_unit: dict = field(default_factory=dict)
+    The engine constructs timelines from parallel arrays
+    (:meth:`from_arrays`); derived quantities — makespan, busy times, tag
+    breakdowns, FLOP totals and the ``commands`` list itself — are computed
+    on first access and cached.  Constructing a timeline directly from a list
+    of :class:`ScheduledCommand` remains supported for tests and tools.
+    """
+
+    __slots__ = (
+        "label",
+        "stats",
+        "_commands",
+        "_cids",
+        "_units",
+        "_kinds",
+        "_tags",
+        "_starts",
+        "_ends",
+        "_flops",
+        "_bytes",
+        "_makespan",
+        "_busy_by_unit",
+        "_breakdown_by_tag",
+        "_total_flops",
+    )
+
+    def __init__(
+        self,
+        commands: list[ScheduledCommand] | None = None,
+        stats: ActivityStats | None = None,
+        label: str = "",
+    ) -> None:
+        self.label = label
+        self.stats = stats if stats is not None else ActivityStats()
+        commands = list(commands) if commands is not None else []
+        self._commands: list[ScheduledCommand] | None = commands
+        self._cids = [c.cid for c in commands]
+        self._units = [c.unit for c in commands]
+        self._kinds = [c.kind for c in commands]
+        self._tags = [c.tag for c in commands]
+        self._starts = [c.start for c in commands]
+        self._ends = [c.end for c in commands]
+        self._flops = [c.flops for c in commands]
+        self._bytes = [c.bytes_moved for c in commands]
+        self._makespan: float | None = None
+        self._busy_by_unit: dict = {}
+        self._breakdown_by_tag: dict[str, float] | None = None
+        self._total_flops: float | None = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        label: str,
+        stats: ActivityStats,
+        cids: list[int],
+        units: list[Unit],
+        kinds: list[OpKind],
+        tags: list[str],
+        starts: list[float],
+        ends: list[float],
+        flops: list[float],
+        bytes_moved: list[int],
+    ) -> "Timeline":
+        """Build a lazy timeline without materializing ScheduledCommands."""
+        timeline = cls.__new__(cls)
+        timeline.label = label
+        timeline.stats = stats
+        timeline._commands = None
+        timeline._cids = cids
+        timeline._units = units
+        timeline._kinds = kinds
+        timeline._tags = tags
+        timeline._starts = starts
+        timeline._ends = ends
+        timeline._flops = flops
+        timeline._bytes = bytes_moved
+        timeline._makespan = None
+        timeline._busy_by_unit = {}
+        timeline._breakdown_by_tag = None
+        timeline._total_flops = None
+        return timeline
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    @property
+    def commands(self) -> list[ScheduledCommand]:
+        """The full schedule (materialized on first access)."""
+        if self._commands is None:
+            self._commands = [
+                ScheduledCommand(
+                    cid=self._cids[i],
+                    unit=self._units[i],
+                    kind=self._kinds[i],
+                    tag=self._tags[i],
+                    start=self._starts[i],
+                    end=self._ends[i],
+                    flops=self._flops[i],
+                    bytes_moved=self._bytes[i],
+                )
+                for i in range(len(self._starts))
+            ]
+        return self._commands
 
     @property
     def makespan(self) -> float:
-        return max((c.end for c in self.commands), default=0.0)
+        if self._makespan is None:
+            self._makespan = max(self._ends, default=0.0)
+        return self._makespan
 
     def busy_time(self, unit: Unit) -> float:
-        if unit not in self._busy_by_unit:
-            self._busy_by_unit[unit] = _interval_union(
-                [(c.start, c.end) for c in self.commands if c.unit is unit]
+        cached = self._busy_by_unit.get(unit)
+        if cached is None:
+            units = self._units
+            cached = _interval_union(
+                [
+                    (self._starts[i], self._ends[i])
+                    for i in range(len(units))
+                    if units[i] is unit
+                ]
             )
-        return self._busy_by_unit[unit]
+            self._busy_by_unit[unit] = cached
+        return cached
 
     def utilization(self, unit: Unit) -> float:
         makespan = self.makespan
@@ -148,22 +278,88 @@ class Timeline:
 
     def breakdown_by_tag(self) -> dict[str, float]:
         """Latency attributed to each breakdown tag (interval union per tag)."""
-        by_tag: dict[str, list[tuple[float, float]]] = defaultdict(list)
-        for command in self.commands:
-            if command.tag and command.unit is not Unit.SYNC:
-                by_tag[command.tag].append((command.start, command.end))
-        return {tag: _interval_union(spans) for tag, spans in by_tag.items()}
+        if self._breakdown_by_tag is None:
+            by_tag: dict[str, list[tuple[float, float]]] = defaultdict(list)
+            units = self._units
+            tags = self._tags
+            for i in range(len(units)):
+                tag = tags[i]
+                if tag and units[i] is not Unit.SYNC:
+                    by_tag[tag].append((self._starts[i], self._ends[i]))
+            self._breakdown_by_tag = {
+                tag: _interval_union(spans) for tag, spans in by_tag.items()
+            }
+        return dict(self._breakdown_by_tag)
 
     def breakdown_by_unit(self) -> dict[str, float]:
-        return {unit.value: self.busy_time(unit) for unit in Unit
-                if any(c.unit is unit for c in self.commands)}
+        present = set(self._units)
+        return {
+            unit.value: self.busy_time(unit) for unit in Unit if unit in present
+        }
 
     def total_flops(self) -> float:
-        return sum(c.flops for c in self.commands)
+        if self._total_flops is None:
+            self._total_flops = sum(self._flops)
+        return self._total_flops
 
     def achieved_flops(self) -> float:
         makespan = self.makespan
         return self.total_flops() / makespan if makespan > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Timeline(label={self.label!r}, commands={len(self)})"
+
+
+class _StreamPrep:
+    """Per-(engine, stream) precomputation: everything schedule-independent."""
+
+    __slots__ = (
+        "length",
+        "durations",
+        "resources",
+        "deps",
+        "is_pim",
+        "is_offchip",
+        "cids",
+        "units",
+        "kinds",
+        "tags",
+        "flops",
+        "bytes_moved",
+        "stats",
+    )
+
+    def __init__(self, engine: "EventEngine", stream: CommandStream) -> None:
+        stream.validate()
+        num_chips = engine.config.pim.num_chips
+        duration_of = engine.durations.duration
+        self.length = len(stream)
+        self.durations = []
+        self.resources = []
+        self.deps = []
+        self.is_pim = []
+        self.is_offchip = []
+        self.cids = []
+        self.units = []
+        self.kinds = []
+        self.tags = []
+        self.flops = []
+        self.bytes_moved = []
+        stats = ActivityStats()
+        for command in stream:
+            self.durations.append(duration_of(command))
+            self.resources.append(tuple(engine._resources(command, num_chips)))
+            self.deps.append(command.deps)
+            self.is_pim.append(command.is_pim())
+            self.is_offchip.append(command.is_offchip())
+            self.cids.append(command.cid)
+            self.units.append(command.unit)
+            self.kinds.append(command.kind)
+            self.tags.append(command.tag)
+            self.flops.append(command.flops)
+            self.bytes_moved.append(command.bytes_moved)
+            engine._accumulate(stats, command)
+        self.stats = stats
 
 
 class EventEngine:
@@ -172,18 +368,34 @@ class EventEngine:
     def __init__(self, config: SystemConfig, durations: DurationModel | None = None) -> None:
         self.config = config
         self.durations = durations or DurationModel(config)
+        self._prep_cache: "weakref.WeakKeyDictionary[CommandStream, _StreamPrep]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._timeline_cache: "weakref.WeakKeyDictionary[CommandStream, tuple[int, Timeline]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------
     def simulate(self, stream: CommandStream) -> Timeline:
-        stream.validate()
+        cached = self._timeline_cache.get(stream)
+        if cached is not None and cached[0] == len(stream):
+            return cached[1]
+
+        prep = self._prep_cache.get(stream)
+        if prep is None or prep.length != len(stream):
+            prep = _StreamPrep(self, stream)
+            self._prep_cache[stream] = prep
+
         config = self.config
         unified = config.memory_policy is MemoryPolicy.UNIFIED
         naive = config.scheduling is SchedulingPolicy.NAIVE
+        pim_blocks_offchip = unified and config.pim_compute_enabled
 
-        end_times: list[float] = [0.0] * len(stream)
-        unit_free: dict[object, float] = defaultdict(float)
-        scheduled: list[ScheduledCommand] = []
-        stats = ActivityStats()
+        length = prep.length
+        ends: list[float] = [0.0] * length
+        starts: list[float] = [0.0] * length
+        unit_free: dict[object, float] = {}
+        unit_free_get = unit_free.get
 
         #: End of the latest PIM macro scheduled so far; off-chip DMA commands
         #: issued after a PIM macro wait for it under the unified organisation.
@@ -196,52 +408,62 @@ class EventEngine:
         #: Running maximum end time (needed for the naive barrier semantics).
         max_end = 0.0
 
-        num_chips = config.pim.num_chips
+        durations = prep.durations
+        resources = prep.resources
+        deps = prep.deps
+        is_pim = prep.is_pim
+        is_offchip = prep.is_offchip
 
-        for command in stream:
-            duration = self.durations.duration(command)
-            dep_ready = max((end_times[d] for d in command.deps), default=0.0)
-            start = max(dep_ready, barrier_time)
+        for i in range(length):
+            start = barrier_time
+            for dep in deps[i]:
+                dep_end = ends[dep]
+                if dep_end > start:
+                    start = dep_end
 
-            resource_keys = self._resources(command, num_chips)
-            for key in resource_keys:
-                start = max(start, unit_free[key])
+            keys = resources[i]
+            for key in keys:
+                free = unit_free_get(key, 0.0)
+                if free > start:
+                    start = free
 
-            if command.is_pim():
-                if unified:
-                    start = max(start, last_offchip_end)
-                if naive:
-                    start = max(start, max_end)
-            elif command.is_offchip() and unified and config.pim_compute_enabled:
-                start = max(start, last_pim_end)
+            if is_pim[i]:
+                if unified and last_offchip_end > start:
+                    start = last_offchip_end
+                if naive and max_end > start:
+                    start = max_end
+            elif is_offchip[i] and pim_blocks_offchip and last_pim_end > start:
+                start = last_pim_end
 
-            end = start + duration
-            for key in resource_keys:
+            end = start + durations[i]
+            for key in keys:
                 unit_free[key] = end
-            end_times[command.cid] = end
-            max_end = max(max_end, end)
-            if command.is_pim():
-                last_pim_end = max(last_pim_end, end)
-                if naive:
-                    barrier_time = max(barrier_time, end)
-            elif command.is_offchip():
-                last_offchip_end = max(last_offchip_end, end)
+            starts[i] = start
+            ends[i] = end
+            if end > max_end:
+                max_end = end
+            if is_pim[i]:
+                if end > last_pim_end:
+                    last_pim_end = end
+                if naive and end > barrier_time:
+                    barrier_time = end
+            elif is_offchip[i] and end > last_offchip_end:
+                last_offchip_end = end
 
-            self._accumulate(stats, command)
-            scheduled.append(
-                ScheduledCommand(
-                    cid=command.cid,
-                    unit=command.unit,
-                    kind=command.kind,
-                    tag=command.tag,
-                    start=start,
-                    end=end,
-                    flops=command.flops,
-                    bytes_moved=command.bytes_moved,
-                )
-            )
-
-        return Timeline(commands=scheduled, stats=stats, label=stream.label)
+        timeline = Timeline.from_arrays(
+            label=stream.label,
+            stats=replace(prep.stats),
+            cids=prep.cids,
+            units=prep.units,
+            kinds=prep.kinds,
+            tags=prep.tags,
+            starts=starts,
+            ends=ends,
+            flops=prep.flops,
+            bytes_moved=prep.bytes_moved,
+        )
+        self._timeline_cache[stream] = (length, timeline)
+        return timeline
 
     # ------------------------------------------------------------------
     def _resources(self, command: Command, num_chips: int) -> list[object]:

@@ -4,6 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (exhaustive sweeps, exact-mode runs)"
+    )
+
 from repro.config import SystemConfig
 from repro.core.system import IanusSystem
 from repro.models import GPT2_CONFIGS, Workload
