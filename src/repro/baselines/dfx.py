@@ -21,15 +21,35 @@ from repro.energy.model import EnergyBreakdown
 from repro.models.flops import stage_flops
 from repro.models.transformer import ModelConfig
 from repro.models.workload import Stage, StagePass, Workload
+from repro.perf.cache import (
+    PassCostCache,
+    config_fingerprint,
+    global_baseline_cache,
+    resolve_pass_cache,
+)
 
 __all__ = ["DfxAppliance"]
 
 
 class DfxAppliance:
-    """Analytical model of the DFX multi-FPGA appliance."""
+    """Analytical model of the DFX multi-FPGA appliance.
 
-    def __init__(self, config: DfxConfig | None = None) -> None:
+    ``pass_cache`` mirrors :class:`repro.core.system.IanusSystem`: ``True``
+    (default) shares the process-wide baseline cache of
+    :func:`repro.perf.cache.global_baseline_cache`, ``None``/``False``
+    disables caching, a :class:`~repro.perf.cache.PassCostCache` instance is
+    used as-is.  The memoized values are plain floats (per-stage latencies),
+    so cached and uncached runs are trivially identical.
+    """
+
+    def __init__(
+        self,
+        config: DfxConfig | None = None,
+        pass_cache: "PassCostCache | bool | None" = True,
+    ) -> None:
         self.config = config or DfxConfig()
+        self.pass_cache = resolve_pass_cache(pass_cache, global_baseline_cache)
+        self.config_fingerprint = config_fingerprint(self.config)
 
     # ------------------------------------------------------------------
     @property
@@ -46,8 +66,27 @@ class DfxAppliance:
             self.config.layer_overhead_s + self.config.sync_overhead_s
         )
 
+    def _cached_latency(self, key_tag: str, model: ModelConfig, tokens: int, compute) -> float:
+        """Memoize one per-stage latency in the baseline cache."""
+        cache = self.pass_cache
+        if cache is None:
+            return compute()
+        key = (self.config_fingerprint, key_tag, model, tokens)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        value = compute()
+        cache.put(key, value)
+        return value
+
     def summarization_latency(self, model: ModelConfig, num_tokens: int) -> float:
         """Compute-bound summarization pass over all input tokens."""
+        return self._cached_latency(
+            "dfx-summ", model, num_tokens,
+            lambda: self._summarization_latency_uncached(model, num_tokens),
+        )
+
+    def _summarization_latency_uncached(self, model: ModelConfig, num_tokens: int) -> float:
         stage_pass = StagePass(Stage.SUMMARIZATION, num_tokens, num_tokens)
         flops = stage_flops(model, stage_pass)
         compute = flops / (self.config.peak_flops * self.config.summarization_efficiency)
@@ -57,6 +96,12 @@ class DfxAppliance:
 
     def generation_latency_per_token(self, model: ModelConfig, kv_length: int) -> float:
         """Bandwidth-bound generation of one token."""
+        return self._cached_latency(
+            "dfx-gen", model, kv_length,
+            lambda: self._generation_latency_per_token_uncached(model, kv_length),
+        )
+
+    def _generation_latency_per_token_uncached(self, model: ModelConfig, kv_length: int) -> float:
         weight_bytes = model.fc_param_bytes
         kv_bytes = model.kv_cache_bytes(kv_length)
         memory = (weight_bytes + kv_bytes) / (

@@ -37,6 +37,12 @@ from repro.models.flops import (
 )
 from repro.models.transformer import ModelConfig
 from repro.models.workload import Stage, StagePass, Workload
+from repro.perf.cache import (
+    PassCostCache,
+    config_fingerprint,
+    global_baseline_cache,
+    resolve_pass_cache,
+)
 
 __all__ = ["GpuKernel", "A100Gpu"]
 
@@ -68,10 +74,30 @@ class GpuKernel:
 
 
 class A100Gpu:
-    """Roofline + kernel-overhead model of an NVIDIA A100-SXM."""
+    """Roofline + kernel-overhead model of an NVIDIA A100-SXM.
 
-    def __init__(self, config: GpuConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        GPU configuration (defaults to the paper's A100-SXM).
+    pass_cache:
+        Pass-cost cache policy, mirroring
+        :class:`repro.core.system.IanusSystem`: ``True`` (default) shares the
+        process-wide baseline cache of
+        :func:`repro.perf.cache.global_baseline_cache`, ``None``/``False``
+        disables caching, a :class:`~repro.perf.cache.PassCostCache` instance
+        is used as-is.  Cached and uncached runs are identical — the key
+        covers every input of :meth:`pass_latency`.
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig | None = None,
+        pass_cache: "PassCostCache | bool | None" = True,
+    ) -> None:
         self.config = config or GpuConfig()
+        self.pass_cache = resolve_pass_cache(pass_cache, global_baseline_cache)
+        self.config_fingerprint = config_fingerprint(self.config)
 
     # ------------------------------------------------------------------
     @property
@@ -208,7 +234,35 @@ class A100Gpu:
     # Pass- and workload-level simulation
     # ------------------------------------------------------------------
     def pass_latency(self, model: ModelConfig, stage_pass: StagePass) -> tuple[float, dict[str, float], float]:
-        """Latency, tag breakdown and FLOPs of one full model pass."""
+        """Latency, tag breakdown and FLOPs of one full model pass.
+
+        Memoized in :attr:`pass_cache` under the configuration fingerprint
+        plus every pass input, mirroring ``IanusSystem._pass_cost``.
+        """
+        cache = self.pass_cache
+        if cache is None:
+            return self._pass_latency_uncached(model, stage_pass)
+        key = (
+            self.config_fingerprint,
+            "a100-pass",
+            model,
+            stage_pass.stage,
+            stage_pass.num_tokens,
+            stage_pass.kv_length,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            latency, breakdown, flops = hit
+            # Fresh copy of the mutable piece so callers can never alias
+            # (and corrupt) the cached entry.
+            return latency, dict(breakdown), flops
+        latency, breakdown, flops = self._pass_latency_uncached(model, stage_pass)
+        cache.put(key, (latency, dict(breakdown), flops))
+        return latency, breakdown, flops
+
+    def _pass_latency_uncached(
+        self, model: ModelConfig, stage_pass: StagePass
+    ) -> tuple[float, dict[str, float], float]:
         kernels = self.block_kernels(model, stage_pass)
         per_block = {k.name: self.kernel_time(k) for k in kernels}
         breakdown: dict[str, float] = {}

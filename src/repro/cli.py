@@ -16,10 +16,15 @@ Three sub-commands cover the common workflows without writing any Python:
     List the available models, backends and experiments.
 
 ``python -m repro bench``
-    Run experiments through the parallel runner (``--jobs N``), print
-    per-experiment wall-clock timings plus pass-cost cache statistics, and
-    optionally dump a machine-readable ``BENCH_*.json`` timing report
-    (``--json PATH``) for diffing performance across PRs.
+    Run experiments through the parallel runner (``--jobs N`` shards sweep
+    *cells* across the pool), print per-experiment wall-clock timings, cell
+    counts and pass-cost / baseline cache statistics, and optionally dump a
+    machine-readable ``BENCH_*.json`` timing report (``--json PATH``) for
+    diffing performance across PRs.
+
+``bench`` and ``experiment`` persist the pass-cost cache to disk between
+invocations (``--cache-dir PATH`` overrides the location, ``--no-disk-cache``
+opts out), so repeated runs start warm.
 """
 
 from __future__ import annotations
@@ -56,6 +61,15 @@ def _make_backend(name: str, num_devices: int):
 BACKENDS = ("ianus", "npu-mem", "partitioned", "a100", "dfx")
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """Persistent-cache flags shared by ``experiment`` and ``bench``."""
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="directory of the persistent pass-cost cache "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="do not load or persist the on-disk pass-cost cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("ids", nargs="+", help="experiment identifiers, e.g. fig08")
     experiment.add_argument("--full", action="store_true",
                             help="run the slower, more exhaustive variants")
+    _add_cache_flags(experiment)
 
     bench = subparsers.add_parser(
         "bench", help="time experiment regeneration (optionally in parallel)"
@@ -89,13 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("ids", nargs="*",
                        help="experiment identifiers (default: all registered)")
     bench.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (1 = in-process, shares caches)")
+                       help="worker processes (1 = in-process; >1 shards sweep "
+                            "cells across the pool)")
     bench.add_argument("--full", action="store_true",
                        help="run the slower, more exhaustive variants")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="write a BENCH_*.json-compatible timing report")
     bench.add_argument("--show-tables", action="store_true",
                        help="also print every regenerated table")
+    bench.add_argument("--no-shard-cells", action="store_true",
+                       help="with --jobs N, dispatch whole experiments instead "
+                            "of individual sweep cells")
+    _add_cache_flags(bench)
 
     subparsers.add_parser("list", help="list models, backends and experiments")
     return parser
@@ -130,23 +150,30 @@ def _run_simulate(args: argparse.Namespace) -> int:
 
 def _run_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.perf import flush_disk_caches, install_disk_caches
 
     unknown = [identifier for identifier in args.ids if identifier not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         print(f"known experiments: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    for identifier in args.ids:
-        result = run_experiment(identifier, fast=not args.full)
-        print("=" * 80)
-        print(result.to_text())
-        print()
+    if not args.no_disk_cache:
+        install_disk_caches(args.cache_dir)
+    try:
+        for identifier in args.ids:
+            result = run_experiment(identifier, fast=not args.full)
+            print("=" * 80)
+            print(result.to_text())
+            print()
+    finally:
+        if not args.no_disk_cache:
+            flush_disk_caches()
     return 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.experiments.registry import EXPERIMENTS
-    from repro.perf import global_pass_cache, run_many, write_report
+    from repro.perf import run_many, write_report
 
     ids = args.ids or list(EXPERIMENTS)
     unknown = [identifier for identifier in ids if identifier not in EXPERIMENTS]
@@ -158,17 +185,16 @@ def _run_bench(args: argparse.Namespace) -> int:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
 
-    outcome = run_many(ids, fast=not args.full, jobs=args.jobs)
+    outcome = run_many(
+        ids,
+        fast=not args.full,
+        jobs=args.jobs,
+        shard_cells=not args.no_shard_cells,
+        disk_cache=not args.no_disk_cache,
+        cache_dir=args.cache_dir,
+    )
     print(outcome.report.to_text())
-
-    if outcome.report.jobs == 1:
-        stats = global_pass_cache().stats()
-        print(
-            f"pass-cost cache: {stats['hits']} hits / {stats['misses']} misses "
-            f"({stats['hit_rate']:.0%} hit rate, {stats['size']} entries)"
-        )
-    else:
-        print("pass-cost cache: per-worker (run with --jobs 1 for statistics)")
+    print(outcome.report.cache_summary())
 
     if args.show_tables:
         for identifier in ids:

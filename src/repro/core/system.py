@@ -31,7 +31,12 @@ from repro.memory import make_memory_system
 from repro.memory.unified import MemoryCapacityError
 from repro.models.transformer import ModelConfig
 from repro.models.workload import Stage, StagePass, Workload
-from repro.perf.cache import PassCostCache, config_fingerprint, global_pass_cache
+from repro.perf.cache import (
+    PassCostCache,
+    config_fingerprint,
+    global_pass_cache,
+    resolve_pass_cache,
+)
 from repro.scheduling.durations import DurationModel
 from repro.scheduling.events import ActivityStats, EventEngine, Timeline
 
@@ -78,12 +83,7 @@ class IanusSystem:
         self.engine = EventEngine(config, self.durations)
         self.energy_model = EnergyModel(config.energy)
         self.memory_system = make_memory_system(config)
-        if pass_cache is True:
-            self.pass_cache: PassCostCache | None = global_pass_cache()
-        elif isinstance(pass_cache, PassCostCache):
-            self.pass_cache = pass_cache
-        else:
-            self.pass_cache = None
+        self.pass_cache = resolve_pass_cache(pass_cache, global_pass_cache)
         self.config_fingerprint = config_fingerprint(config, num_devices)
 
     # ------------------------------------------------------------------

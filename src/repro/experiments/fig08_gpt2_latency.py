@@ -5,51 +5,87 @@ token configurations (inputs 128/256/512, outputs 1/8/64/512).  The paper
 reports an overall average speedup of 6.2x for IANUS over the GPU, with the
 per-model averages 11.3x (M), 7.6x (L), and 4.3x (2.5B), and e.g. 12.0x /
 8.1x / 6.6x for the generation-heavy (128,512) configuration on M / L / XL.
+
+The sweep is declared as a :class:`~repro.experiments.base.Sweep` of one
+cell per (model, input, output) point — 48 cells in fast mode — so the
+parallel runner can shard it across a process pool.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import arithmetic_mean
-from repro.baselines.gpu import A100Gpu
-from repro.config import SystemConfig
-from repro.core.system import IanusSystem
-from repro.experiments.base import ExperimentResult
-from repro.models import GPT2_CONFIGS, Workload
+from repro.experiments.base import Cell, ExperimentResult, Sweep
 
-__all__ = ["run", "PAPER_AVERAGE_SPEEDUPS"]
+__all__ = ["run", "sweep", "PAPER_AVERAGE_SPEEDUPS"]
 
 #: Per-model average speedups the paper annotates on Fig. 8.
 PAPER_AVERAGE_SPEEDUPS = {"m": 11.3, "l": 7.6, "xl": 6.2, "2.5b": 4.3}
 PAPER_OVERALL_SPEEDUP = 6.2
 
 INPUT_SIZES = (128, 256, 512)
+#: The paper's published output sweep (Fig. 8); this is the fast-mode grid.
 OUTPUT_SIZES = (1, 8, 64, 512)
+#: ``--full`` densifies the output axis with intermediate generation lengths.
+FULL_OUTPUT_SIZES = (1, 8, 64, 128, 256, 512)
+
+
+def sweep(fast: bool = True) -> Sweep:
+    """One cell per (model, input, output) grid point."""
+    from repro.models import GPT2_CONFIGS
+
+    output_sizes = OUTPUT_SIZES if fast else FULL_OUTPUT_SIZES
+    cells = [
+        Cell(
+            f"{key}/{input_size}x{output_size}",
+            {"model_key": key, "input": input_size, "output": output_size},
+        )
+        for key in GPT2_CONFIGS
+        for input_size in INPUT_SIZES
+        for output_size in output_sizes
+    ]
+    return Sweep("fig08", cells, _run_cell, _reduce)
 
 
 def run(fast: bool = True) -> ExperimentResult:
-    output_sizes = OUTPUT_SIZES if fast else OUTPUT_SIZES
-    gpu = A100Gpu()
-    ianus = IanusSystem(SystemConfig.ianus())
+    return sweep(fast).execute()
+
+
+def _run_cell(params: dict) -> dict:
+    """Latency of one (model, workload) point on both backends (pure)."""
+    from repro.baselines.gpu import A100Gpu
+    from repro.config import SystemConfig
+    from repro.core.system import IanusSystem
+    from repro.models import GPT2_CONFIGS, Workload
+
+    model = GPT2_CONFIGS[params["model_key"]]
+    workload = Workload(params["input"], params["output"])
+    gpu_ms = A100Gpu().run(model, workload).total_latency_ms
+    ianus_ms = IanusSystem(SystemConfig.ianus()).run(model, workload).total_latency_ms
+    return {"gpu_ms": gpu_ms, "ianus_ms": ianus_ms}
+
+
+def _reduce(grid: Sweep, outputs: dict[str, dict]) -> ExperimentResult:
+    from repro.models import GPT2_CONFIGS, Workload
 
     rows: list[list] = []
     speedups_by_model: dict[str, list[float]] = {}
-    for key, model in GPT2_CONFIGS.items():
-        speedups: list[float] = []
-        for input_size in INPUT_SIZES:
-            for output_size in output_sizes:
-                workload = Workload(input_size, output_size)
-                gpu_ms = gpu.run(model, workload).total_latency_ms
-                ianus_ms = ianus.run(model, workload).total_latency_ms
-                speedup = gpu_ms / ianus_ms
-                speedups.append(speedup)
-                rows.append(
-                    [model.name, workload.label(), round(gpu_ms, 2), round(ianus_ms, 2),
-                     round(speedup, 2)]
-                )
-        speedups_by_model[key] = speedups
+    for cell in grid.cells:
+        key = cell.params["model_key"]
+        model = GPT2_CONFIGS[key]
+        workload = Workload(cell.params["input"], cell.params["output"])
+        cell_out = outputs[cell.cell_id]
+        gpu_ms, ianus_ms = cell_out["gpu_ms"], cell_out["ianus_ms"]
+        speedup = gpu_ms / ianus_ms
+        speedups_by_model.setdefault(key, []).append(speedup)
         rows.append(
-            [model.name, "Avg", "", "", round(arithmetic_mean(speedups), 2)]
+            [model.name, workload.label(), round(gpu_ms, 2), round(ianus_ms, 2),
+             round(speedup, 2)]
         )
+        if len(speedups_by_model[key]) == grid.cells_per_group("model_key"):
+            rows.append(
+                [model.name, "Avg", "", "",
+                 round(arithmetic_mean(speedups_by_model[key]), 2)]
+            )
 
     per_model_avg = {k: arithmetic_mean(v) for k, v in speedups_by_model.items()}
     overall = arithmetic_mean([s for v in speedups_by_model.values() for s in v])

@@ -6,45 +6,74 @@ faster than DFX for (128,1) (summarization-only, where DFX's low FLOPS
 hurts), IANUS generates a token in 3.8 ms vs DFX's 6.9 ms for (64,256), the
 overall average speedup over DFX is 3.2x (ratio of total latency over the
 sweep), and NPU-MEM is on average 24% slower than DFX.
+
+Declared as a :class:`~repro.experiments.base.Sweep` with one cell per
+(input, output) workload; each cell evaluates all three backends.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import total_latency_ratio
-from repro.baselines.dfx import DfxAppliance
-from repro.baselines.npu_mem import NpuMemSystem
-from repro.config import SystemConfig
-from repro.core.system import IanusSystem
-from repro.experiments.base import ExperimentResult
-from repro.models import GPT2_CONFIGS, PAPER_DFX_WORKLOADS
+from repro.experiments.base import Cell, ExperimentResult, Sweep
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
+
+
+def sweep(fast: bool = True) -> Sweep:
+    """One cell per DFX-paper workload configuration."""
+    from repro.models import PAPER_DFX_WORKLOADS
+
+    del fast
+    cells = [
+        Cell(
+            workload.label(),
+            {"input": workload.input_tokens, "output": workload.output_tokens},
+        )
+        for workload in PAPER_DFX_WORKLOADS
+    ]
+    return Sweep("fig09", cells, _run_cell, _reduce)
 
 
 def run(fast: bool = True) -> ExperimentResult:
-    del fast
-    model = GPT2_CONFIGS["xl"]
-    dfx = DfxAppliance()
-    npu_mem = NpuMemSystem()
-    ianus = IanusSystem(SystemConfig.ianus())
+    return sweep(fast).execute()
 
+
+def _run_cell(params: dict) -> dict:
+    """GPT-2 XL latency of one workload on all three backends (pure)."""
+    from repro.baselines.dfx import DfxAppliance
+    from repro.baselines.npu_mem import NpuMemSystem
+    from repro.config import SystemConfig
+    from repro.core.system import IanusSystem
+    from repro.models import GPT2_CONFIGS, Workload
+
+    model = GPT2_CONFIGS["xl"]
+    workload = Workload(params["input"], params["output"])
+    return {
+        "dfx_ms": DfxAppliance().run(model, workload).total_latency_ms,
+        "npu_ms": NpuMemSystem().run(model, workload).total_latency_ms,
+        "ianus_ms": IanusSystem(SystemConfig.ianus()).run(model, workload).total_latency_ms,
+    }
+
+
+def _reduce(grid: Sweep, outputs: dict[str, dict]) -> ExperimentResult:
     rows: list[list] = []
     dfx_latencies: list[float] = []
     npu_latencies: list[float] = []
     ianus_latencies: list[float] = []
     per_config: dict[str, dict[str, float]] = {}
-    for workload in PAPER_DFX_WORKLOADS:
-        dfx_ms = dfx.run(model, workload).total_latency_ms
-        npu_ms = npu_mem.run(model, workload).total_latency_ms
-        ianus_ms = ianus.run(model, workload).total_latency_ms
+    for cell in grid.cells:
+        cell_out = outputs[cell.cell_id]
+        dfx_ms, npu_ms, ianus_ms = (
+            cell_out["dfx_ms"], cell_out["npu_ms"], cell_out["ianus_ms"],
+        )
         dfx_latencies.append(dfx_ms)
         npu_latencies.append(npu_ms)
         ianus_latencies.append(ianus_ms)
-        per_config[workload.label()] = {
+        per_config[cell.cell_id] = {
             "dfx": dfx_ms, "npu_mem": npu_ms, "ianus": ianus_ms,
         }
         rows.append(
-            [workload.label(), round(dfx_ms, 1), round(npu_ms, 1), round(ianus_ms, 1),
+            [cell.cell_id, round(dfx_ms, 1), round(npu_ms, 1), round(ianus_ms, 1),
              round(dfx_ms / ianus_ms, 1)]
         )
 

@@ -6,27 +6,62 @@ paper reports that IANUS achieves 3.1x / 2.0x higher average throughput than
 the GPU for BERT-Base / BERT-Large despite 1.4x lower peak FLOPS, falls below
 the GPU's throughput for the larger BERT variants, yet sustains 5.2x / 3.3x /
 1.3x / 1.0x higher compute utilisation across BERT-B / L / 1.3B / 3.9B.
+
+Declared as a :class:`~repro.experiments.base.Sweep` with one cell per
+(model, input size) grid point.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import arithmetic_mean
-from repro.baselines.gpu import A100Gpu
-from repro.config import SystemConfig
-from repro.core.system import IanusSystem
-from repro.experiments.base import ExperimentResult
-from repro.models import BERT_CONFIGS, PAPER_BERT_INPUT_SIZES, Workload
+from repro.experiments.base import Cell, ExperimentResult, Sweep
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 PAPER_THROUGHPUT_RATIOS = {"base": 3.1, "large": 2.0, "1.3b": 0.8, "3.9b": 0.6}
 PAPER_UTILIZATION_RATIOS = {"base": 5.2, "large": 3.3, "1.3b": 1.3, "3.9b": 1.0}
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def sweep(fast: bool = True) -> Sweep:
+    """One cell per (BERT variant, input size) grid point."""
+    from repro.models import BERT_CONFIGS, PAPER_BERT_INPUT_SIZES
+
     del fast
+    cells = [
+        Cell(f"{key}/{input_size}", {"model_key": key, "input": input_size})
+        for key in BERT_CONFIGS
+        for input_size in PAPER_BERT_INPUT_SIZES
+    ]
+    return Sweep("fig14", cells, _run_cell, _reduce)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return sweep(fast).execute()
+
+
+def _run_cell(params: dict) -> dict:
+    """Throughput and utilisation of one (model, input) point (pure)."""
+    from repro.baselines.gpu import A100Gpu
+    from repro.config import SystemConfig
+    from repro.core.system import IanusSystem
+    from repro.models import BERT_CONFIGS, Workload
+
     gpu = A100Gpu()
     ianus = IanusSystem(SystemConfig.ianus())
+    model = BERT_CONFIGS[params["model_key"]]
+    workload = Workload(input_tokens=params["input"], output_tokens=1)
+    gpu_result = gpu.run(model, workload)
+    ianus_result = ianus.run(model, workload)
+    return {
+        "gpu_tput": gpu_result.achieved_tflops,
+        "ianus_tput": ianus_result.achieved_tflops,
+        "gpu_util": gpu_result.utilization(gpu.peak_flops),
+        "ianus_util": ianus_result.utilization(ianus.npu_peak_flops),
+    }
+
+
+def _reduce(grid: Sweep, outputs: dict[str, dict]) -> ExperimentResult:
+    from repro.models import BERT_CONFIGS, PAPER_BERT_INPUT_SIZES
 
     rows: list[list] = []
     throughput_ratios: dict[str, float] = {}
@@ -35,13 +70,11 @@ def run(fast: bool = True) -> ExperimentResult:
         gpu_tputs, ianus_tputs = [], []
         gpu_utils, ianus_utils = [], []
         for input_size in PAPER_BERT_INPUT_SIZES:
-            workload = Workload(input_tokens=input_size, output_tokens=1)
-            gpu_result = gpu.run(model, workload)
-            ianus_result = ianus.run(model, workload)
-            gpu_tput = gpu_result.achieved_tflops
-            ianus_tput = ianus_result.achieved_tflops
-            gpu_util = gpu_result.utilization(gpu.peak_flops)
-            ianus_util = ianus_result.utilization(ianus.npu_peak_flops)
+            cell_out = outputs[f"{key}/{input_size}"]
+            gpu_tput = cell_out["gpu_tput"]
+            ianus_tput = cell_out["ianus_tput"]
+            gpu_util = cell_out["gpu_util"]
+            ianus_util = cell_out["ianus_util"]
             gpu_tputs.append(gpu_tput)
             ianus_tputs.append(ianus_tput)
             gpu_utils.append(gpu_util)

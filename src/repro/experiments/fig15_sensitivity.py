@@ -7,48 +7,83 @@ GPT-2 L under a summarization-only (256,1) and a generation-dominant
 (the summarization-only case more, because the NPU executes everything except
 the LM head), while PIM compute capability only matters for the
 generation-dominant case.  Results are normalised to 4 cores / 4 PIM chips.
+
+Declared as a :class:`~repro.experiments.base.Sweep`: two baseline cells
+(one per workload) plus one cell per (swept parameter, value, workload);
+normalisation to the baseline happens in the reduce step.
 """
 
 from __future__ import annotations
 
-from repro.config import SystemConfig
-from repro.core.system import IanusSystem
-from repro.experiments.base import ExperimentResult
-from repro.models import GPT2_CONFIGS, Workload
+from repro.experiments.base import Cell, ExperimentResult, Sweep
+from repro.models import Workload
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 WORKLOADS = {
     "summarization-only (256,1)": Workload(256, 1),
     "generation-dominant (256,512)": Workload(256, 512),
 }
 
+SWEPT_VALUES = (1, 2, 4)
+
+
+def sweep(fast: bool = True) -> Sweep:
+    del fast
+    cells = [
+        Cell(f"baseline/{label}", {"kind": "baseline", "value": 0, "workload": label})
+        for label in WORKLOADS
+    ]
+    for kind in ("cores", "pims"):
+        for value in SWEPT_VALUES:
+            for label in WORKLOADS:
+                cells.append(
+                    Cell(
+                        f"{kind}/{value}/{label}",
+                        {"kind": kind, "value": value, "workload": label},
+                    )
+                )
+    return Sweep("fig15", cells, _run_cell, _reduce)
+
 
 def run(fast: bool = True) -> ExperimentResult:
-    del fast
+    return sweep(fast).execute()
+
+
+def _run_cell(params: dict) -> dict:
+    """GPT-2 L latency of one configuration under one workload (pure)."""
+    from repro.config import SystemConfig
+    from repro.core.system import IanusSystem
+    from repro.models import GPT2_CONFIGS
+
+    kind, value = params["kind"], params["value"]
+    if kind == "baseline":
+        config = SystemConfig.ianus()
+    elif kind == "cores":
+        config = SystemConfig.ianus(num_cores=value, name=f"ianus-{value}c")
+    elif kind == "pims":
+        config = SystemConfig.ianus(pim_compute_chips=value, name=f"ianus-{value}p")
+    else:
+        raise ValueError(f"unknown swept parameter {kind!r}")
     model = GPT2_CONFIGS["l"]
-    baseline = IanusSystem(SystemConfig.ianus())
+    workload = WORKLOADS[params["workload"]]
+    return {"latency_s": IanusSystem(config).run(model, workload).total_latency_s}
+
+
+def _reduce(grid: Sweep, outputs: dict[str, dict]) -> ExperimentResult:
     baseline_latency = {
-        label: baseline.run(model, workload).total_latency_s
-        for label, workload in WORKLOADS.items()
+        label: outputs[f"baseline/{label}"]["latency_s"] for label in WORKLOADS
     }
 
     rows: list[list] = []
     slowdowns: dict[str, dict[str, float]] = {"cores": {}, "pims": {}}
-    for cores in (1, 2, 4):
-        system = IanusSystem(SystemConfig.ianus(num_cores=cores, name=f"ianus-{cores}c"))
-        for label, workload in WORKLOADS.items():
-            slowdown = system.run(model, workload).total_latency_s / baseline_latency[label]
-            slowdowns["cores"][f"{cores}/{label}"] = slowdown
-            rows.append(["# cores", cores, label, round(slowdown, 2)])
-    for chips in (1, 2, 4):
-        system = IanusSystem(
-            SystemConfig.ianus(pim_compute_chips=chips, name=f"ianus-{chips}p")
-        )
-        for label, workload in WORKLOADS.items():
-            slowdown = system.run(model, workload).total_latency_s / baseline_latency[label]
-            slowdowns["pims"][f"{chips}/{label}"] = slowdown
-            rows.append(["# PIM chips", chips, label, round(slowdown, 2)])
+    for kind, row_label in (("cores", "# cores"), ("pims", "# PIM chips")):
+        for value in SWEPT_VALUES:
+            for label in WORKLOADS:
+                latency = outputs[f"{kind}/{value}/{label}"]["latency_s"]
+                slowdown = latency / baseline_latency[label]
+                slowdowns[kind][f"{value}/{label}"] = slowdown
+                rows.append([row_label, value, label, round(slowdown, 2)])
 
     summ = "summarization-only (256,1)"
     gen = "generation-dominant (256,512)"

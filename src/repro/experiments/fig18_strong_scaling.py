@@ -5,36 +5,63 @@ devices is swept over 2, 4 and 8 while the problem stays fixed.  The paper
 reports 127.1, 211.6 and 317.6 generated tokens per second — a 2.5x gain for
 4x more devices (1.67x from 2 to 4 and 1.50x from 4 to 8); scaling is
 sub-linear because of the device-to-device communication over PCIe.
+
+Declared as a :class:`~repro.experiments.base.Sweep` with one cell per
+device count.
 """
 
 from __future__ import annotations
 
-from repro.config import SystemConfig
-from repro.core.multi_device import MultiIanusSystem
-from repro.experiments.base import ExperimentResult
-from repro.models import LARGE_GPT_CONFIGS, Workload
+from repro.experiments.base import Cell, ExperimentResult, Sweep
+from repro.models import Workload
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 PAPER_TOKENS_PER_SECOND = {2: 127.1, 4: 211.6, 8: 317.6}
 WORKLOAD = Workload(input_tokens=256, output_tokens=64)
+DEVICE_COUNTS = (2, 4, 8)
+
+
+def sweep(fast: bool = True) -> Sweep:
+    """One cell per device count of the strong-scaling curve."""
+    del fast
+    cells = [
+        Cell(f"devices/{devices}", {"devices": devices})
+        for devices in DEVICE_COUNTS
+    ]
+    return Sweep("fig18", cells, _run_cell, _reduce)
 
 
 def run(fast: bool = True) -> ExperimentResult:
-    del fast
-    model = LARGE_GPT_CONFIGS["6.7b"]
-    points = MultiIanusSystem.strong_scaling(
-        SystemConfig.ianus(), model, WORKLOAD, device_counts=(2, 4, 8)
-    )
+    return sweep(fast).execute()
 
+
+def _run_cell(params: dict) -> dict:
+    """One point of the strong-scaling curve (pure)."""
+    from repro.config import SystemConfig
+    from repro.core.multi_device import MultiIanusSystem
+    from repro.models import LARGE_GPT_CONFIGS
+
+    model = LARGE_GPT_CONFIGS["6.7b"]
+    cluster = MultiIanusSystem(SystemConfig.ianus(), params["devices"])
+    result = cluster.run(model, WORKLOAD)
+    return {
+        "tokens_per_second": result.tokens_per_second,
+        "latency_ms": result.total_latency_ms,
+    }
+
+
+def _reduce(grid: Sweep, outputs: dict[str, dict]) -> ExperimentResult:
     rows: list[list] = []
     tokens_per_second: dict[int, float] = {}
-    for point in points:
-        tokens_per_second[point.num_devices] = point.tokens_per_second
+    for cell in grid.cells:
+        devices = cell.params["devices"]
+        cell_out = outputs[cell.cell_id]
+        tokens_per_second[devices] = cell_out["tokens_per_second"]
         rows.append(
-            [point.num_devices, round(point.tokens_per_second, 1),
-             round(point.latency_ms, 1),
-             round(PAPER_TOKENS_PER_SECOND[point.num_devices], 1)]
+            [devices, round(cell_out["tokens_per_second"], 1),
+             round(cell_out["latency_ms"], 1),
+             round(PAPER_TOKENS_PER_SECOND[devices], 1)]
         )
 
     gain_2_to_4 = tokens_per_second[4] / tokens_per_second[2]

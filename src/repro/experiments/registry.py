@@ -27,9 +27,16 @@ from repro.experiments import (
     prototype_validation,
     tables,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, Sweep
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "run_many"]
+__all__ = [
+    "EXPERIMENTS",
+    "SWEEPS",
+    "run_experiment",
+    "run_all",
+    "run_many",
+    "get_sweep",
+]
 
 #: Experiment id -> (description, runner).
 EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
@@ -56,6 +63,26 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     ),
     "ablation-fast-mode": ("fast vs exact generation simulation", ablations.run_fast_vs_exact),
 }
+
+
+#: Experiments that declare their sweep grid (experiment id -> sweep factory).
+#: The parallel runner shards these at cell granularity; everything else runs
+#: as one task.  ``sweep(fast).execute()`` and ``run(fast)`` are equivalent
+#: by construction (``run`` is implemented as exactly that).
+SWEEPS: dict[str, Callable[..., Sweep]] = {
+    "fig08": fig08_gpt2_latency.sweep,
+    "fig09": fig09_dfx_comparison.sweep,
+    "fig14": fig14_bert.sweep,
+    "fig15": fig15_sensitivity.sweep,
+    "fig17": fig17_scalability.sweep,
+    "fig18": fig18_strong_scaling.sweep,
+}
+
+
+def get_sweep(experiment_id: str, fast: bool = True) -> Sweep | None:
+    """The declared sweep grid of an experiment, or ``None`` if not ported."""
+    factory = SWEEPS.get(experiment_id)
+    return factory(fast=fast) if factory is not None else None
 
 
 def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:

@@ -29,12 +29,30 @@ number:
     miss counters (:meth:`PassCostCache.stats`) make cache behaviour
     observable from the CLI (``repro bench``) and the tests.
 
+    Two cache *layers* exist since PR 2.  In-process, two shared
+    :class:`PassCostCache` instances memoize the simulator
+    (:func:`global_pass_cache`) and the analytical A100/DFX baselines
+    (:func:`global_baseline_cache`) separately, so ``repro bench`` can report
+    their hit rates side by side.  On disk,
+    :class:`~repro.perf.cache.PersistentPassCostCache` backs both with one
+    versioned, atomically-written pickle file under ``$REPRO_CACHE_DIR``
+    (default ``~/.cache/repro``) — loaded on first miss, flushed on
+    completion — so repeated CLI invocations start warm.  Version mismatch
+    and corruption fall back to an empty cache
+    (:data:`~repro.perf.cache.CACHE_SCHEMA_VERSION` gates every load).
+
 :mod:`repro.perf.runner`
     ``run_many`` — a parallel experiment runner over
     :data:`repro.experiments.registry.EXPERIMENTS` built on
     :mod:`concurrent.futures`, with per-experiment wall-clock timing and a
     machine-readable timing report compatible with pytest-benchmark's JSON
     layout (``BENCH_*.json``), so perf regressions can be diffed across PRs.
+    Experiments that declare a sweep grid
+    (:class:`repro.experiments.base.Sweep`) are sharded at *cell*
+    granularity: the pool work-steals over all cells of all requested
+    experiments, and the parent reduces each grid deterministically in
+    declared cell order, so serial and sharded runs emit byte-identical
+    rows.
 
 The third layer of the fast path lives where the hot loops are:
 :mod:`repro.scheduling.events` precomputes per-command durations and
@@ -47,9 +65,18 @@ compiled blocks per ``(model, stage, tokens, kv)``.
 from __future__ import annotations
 
 from repro.perf.cache import (
+    CACHE_SCHEMA_VERSION,
+    DiskCacheFile,
     PassCostCache,
+    PersistentPassCostCache,
     config_fingerprint,
+    default_cache_dir,
+    flush_disk_caches,
+    global_baseline_cache,
     global_pass_cache,
+    install_disk_caches,
+    resolve_pass_cache,
+    set_global_baseline_cache,
     set_global_pass_cache,
 )
 from repro.perf.runner import (
@@ -61,9 +88,18 @@ from repro.perf.runner import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DiskCacheFile",
     "PassCostCache",
+    "PersistentPassCostCache",
     "config_fingerprint",
+    "default_cache_dir",
+    "flush_disk_caches",
+    "global_baseline_cache",
     "global_pass_cache",
+    "install_disk_caches",
+    "resolve_pass_cache",
+    "set_global_baseline_cache",
     "set_global_pass_cache",
     "ExperimentTiming",
     "TimingReport",

@@ -10,6 +10,17 @@ def pytest_configure(config):
         "markers", "slow: long-running test (exhaustive sweeps, exact-mode runs)"
     )
 
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep the persistent pass-cost cache out of ``~/.cache`` during tests.
+
+    Every test gets a private ``REPRO_CACHE_DIR`` so CLI invocations that
+    enable the disk cache by default neither read a stale warm cache nor
+    litter the user's real cache directory.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
 from repro.config import SystemConfig
 from repro.core.system import IanusSystem
 from repro.models import GPT2_CONFIGS, Workload

@@ -142,3 +142,65 @@ class TestNpuMem:
         ianus = ianus_system.run(gpt2_xl, workload)
         ratio = npu_mem.total_latency_s / ianus.total_latency_s
         assert 0.9 <= ratio <= 1.25
+
+
+class TestBaselinePassCache:
+    """PR 2: the analytical baselines share the pass-cost cache design."""
+
+    def test_gpu_cached_equals_uncached(self, gpt2_m):
+        from repro.perf.cache import PassCostCache
+
+        workload = Workload(96, 24)
+        cached_gpu = A100Gpu(pass_cache=PassCostCache())
+        uncached_gpu = A100Gpu(pass_cache=None)
+        first = cached_gpu.run(gpt2_m, workload)
+        second = cached_gpu.run(gpt2_m, workload)
+        reference = uncached_gpu.run(gpt2_m, workload)
+        for result in (first, second):
+            assert result.total_latency_s == reference.total_latency_s
+            assert result.summarization.flops == reference.summarization.flops
+            assert sorted(result.breakdown.items()) == sorted(reference.breakdown.items())
+        assert cached_gpu.pass_cache.hits > 0
+
+    def test_dfx_cached_equals_uncached(self, gpt2_xl):
+        from repro.perf.cache import PassCostCache
+
+        workload = Workload(64, 16)
+        cached_dfx = DfxAppliance(pass_cache=PassCostCache())
+        uncached_dfx = DfxAppliance(pass_cache=None)
+        first = cached_dfx.run(gpt2_xl, workload)
+        second = cached_dfx.run(gpt2_xl, workload)
+        reference = uncached_dfx.run(gpt2_xl, workload)
+        for result in (first, second):
+            assert result.total_latency_s == reference.total_latency_s
+        assert cached_dfx.pass_cache.hits > 0
+
+    def test_baselines_share_global_baseline_cache_by_default(self):
+        from repro.perf.cache import global_baseline_cache, global_pass_cache
+
+        assert A100Gpu().pass_cache is global_baseline_cache()
+        assert DfxAppliance().pass_cache is global_baseline_cache()
+        # Kept separate from the simulator cache so hit rates report per family.
+        assert global_baseline_cache() is not global_pass_cache()
+
+    def test_gpu_hit_does_not_alias_cached_breakdown(self, gpt2_m):
+        from repro.perf.cache import PassCostCache
+
+        gpu = A100Gpu(pass_cache=PassCostCache())
+        stage_pass = StagePass(Stage.SUMMARIZATION, 64, 64)
+        _, first_breakdown, _ = gpu.pass_latency(gpt2_m, stage_pass)
+        first_breakdown["LayerNorm"] = -1.0  # mutate the returned copy
+        _, second_breakdown, _ = gpu.pass_latency(gpt2_m, stage_pass)
+        assert second_breakdown["LayerNorm"] > 0
+
+    def test_different_gpu_configs_do_not_share_entries(self, gpt2_m):
+        from repro.perf.cache import PassCostCache
+
+        cache = PassCostCache()
+        base = A100Gpu(pass_cache=cache)
+        slow = A100Gpu(GpuConfig(memory_bandwidth=GpuConfig().memory_bandwidth / 2),
+                       pass_cache=cache)
+        workload = Workload(48, 8)
+        base_ms = base.run(gpt2_m, workload).total_latency_ms
+        slow_ms = slow.run(gpt2_m, workload).total_latency_ms
+        assert slow_ms > base_ms
