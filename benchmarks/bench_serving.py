@@ -1,0 +1,38 @@
+"""Perf-regression smoke benchmark for the serving subsystem.
+
+Times the ``serving`` experiment (the GPT-2 XL load sweep: offered load x
+backend x policy, 16 cells in fast mode) through the serial runner, and
+asserts its two headline properties so a perf regression can never hide a
+correctness one: the throughput-latency curve stays monotone in offered
+load, and interleaved continuous batching dominates FCFS at the highest
+load.  Run with::
+
+    pytest benchmarks/bench_serving.py --benchmark-only -q
+
+Set ``REPRO_BENCH_REPORT=/path/to/BENCH_serving.json`` to also persist the
+per-experiment timing report for diffing against a previous run.
+"""
+
+import os
+
+from repro.perf import run_many, write_report
+
+
+def test_serving_sweep_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_many,
+        args=(("serving",),),
+        kwargs={"fast": True, "jobs": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(t.ok for t in outcome.report.timings)
+    result = outcome.results["serving"]
+    assert result.data["monotone"]
+    assert result.data["dominates"]
+    report_path = os.environ.get("REPRO_BENCH_REPORT")
+    if report_path:
+        write_report(outcome.report, report_path)
+    print()
+    print(outcome.report.to_text())
+    print(outcome.report.cache_summary())

@@ -16,6 +16,7 @@ inter-FPGA synchronisation overheads.
 from __future__ import annotations
 
 from repro.config import BYTES_PER_ELEMENT, DfxConfig
+from repro.core.costmodel import PassCost
 from repro.core.results import InferenceResult, StageResult
 from repro.energy.model import EnergyBreakdown
 from repro.models.flops import stage_flops
@@ -110,6 +111,28 @@ class DfxAppliance:
         stage_pass = StagePass(Stage.GENERATION, 1, kv_length)
         compute = stage_flops(model, stage_pass) / self.config.peak_flops
         return max(compute, memory) + self._per_layer_overhead(model)
+
+    # ------------------------------------------------------------------
+    def pass_cost(self, model: ModelConfig, stage_pass: StagePass) -> PassCost:
+        """One pass priced through the :class:`~repro.core.costmodel.CostModel`
+        protocol, dispatching on the stage: the memoized per-stage roofline
+        latencies plus the coarse DFX energy model."""
+        if stage_pass.stage is Stage.SUMMARIZATION:
+            latency = self.summarization_latency(model, stage_pass.num_tokens)
+            tag = "Summarization"
+        else:
+            latency = self.generation_latency_per_token(model, stage_pass.kv_length)
+            tag = "Generation"
+        return PassCost(
+            latency_s=latency,
+            breakdown={tag: latency},
+            energy=self._energy(latency),
+            flops=stage_flops(model, stage_pass),
+        )
+
+    def cache_stats(self) -> dict:
+        """Counters of the baseline cache this model routes through."""
+        return self.pass_cache.stats() if self.pass_cache is not None else {}
 
     # ------------------------------------------------------------------
     def run(self, model: ModelConfig, workload: Workload, mode: str = "fast") -> InferenceResult:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import BYTES_PER_ELEMENT, GpuConfig
+from repro.core.costmodel import PassCost
 from repro.core.results import InferenceResult, StageResult, merge_breakdowns
 from repro.energy.model import EnergyBreakdown
 from repro.models.flops import (
@@ -233,6 +234,22 @@ class A100Gpu:
     # ------------------------------------------------------------------
     # Pass- and workload-level simulation
     # ------------------------------------------------------------------
+    def pass_cost(self, model: ModelConfig, stage_pass: StagePass) -> PassCost:
+        """One pass priced through the :class:`~repro.core.costmodel.CostModel`
+        protocol: the memoized roofline of :meth:`pass_latency` plus the
+        coarse GPU energy model."""
+        latency, breakdown, flops = self.pass_latency(model, stage_pass)
+        return PassCost(
+            latency_s=latency,
+            breakdown=breakdown,
+            energy=self._energy(latency),
+            flops=flops,
+        )
+
+    def cache_stats(self) -> dict:
+        """Counters of the baseline cache this model routes through."""
+        return self.pass_cache.stats() if self.pass_cache is not None else {}
+
     def pass_latency(self, model: ModelConfig, stage_pass: StagePass) -> tuple[float, dict[str, float], float]:
         """Latency, tag breakdown and FLOPs of one full model pass.
 

@@ -11,15 +11,26 @@ from __future__ import annotations
 
 from repro.config import SystemConfig
 from repro.core.system import IanusSystem
+from repro.perf.cache import PassCostCache
 
 __all__ = ["NpuMemSystem"]
 
 
 class NpuMemSystem(IanusSystem):
-    """The NPU-with-plain-GDDR6 baseline."""
+    """The NPU-with-plain-GDDR6 baseline.
 
-    def __init__(self, config: SystemConfig | None = None, num_devices: int = 1) -> None:
+    ``pass_cache`` follows the shared constructor policy of
+    :class:`~repro.core.system.IanusSystem` (the default shares the
+    process-wide simulator cache).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        num_devices: int = 1,
+        pass_cache: "PassCostCache | bool | None" = True,
+    ) -> None:
         base = config or SystemConfig.npu_mem()
         if base.pim_compute_enabled:
             base = base.variant(name="npu-mem", pim_compute_enabled=False)
-        super().__init__(base, num_devices=num_devices)
+        super().__init__(base, num_devices=num_devices, pass_cache=pass_cache)

@@ -12,8 +12,15 @@ Three sub-commands cover the common workflows without writing any Python:
     ``table1``, ...) and print the regenerated rows next to the paper's
     claims.
 
+``python -m repro serve``
+    Simulate request-level serving: a seeded Poisson trace of concurrent
+    requests against one backend under a scheduling policy (FCFS vs
+    interleaved continuous batching), reporting TTFT / TPOT / latency
+    percentiles / tokens/s / utilization plus pass-cost cache statistics.
+
 ``python -m repro list``
-    List the available models, backends and experiments.
+    List the available models, backends, experiments, sweep grids (with
+    cell counts) and serving trace generators.
 
 ``python -m repro bench``
     Run experiments through the parallel runner (``--jobs N`` shards sweep
@@ -34,31 +41,13 @@ import sys
 from typing import Sequence
 
 from repro.analysis.trace import render_gantt
-from repro.baselines import A100Gpu, DfxAppliance, NpuMemSystem
-from repro.config import SystemConfig
 from repro.core import IanusSystem
+from repro.core.costmodel import BACKEND_NAMES as BACKENDS
+from repro.core.costmodel import make_cost_model as _make_backend
 from repro.models import ALL_MODELS, Workload, get_model
 from repro.models.workload import Stage, StagePass
 
 __all__ = ["main", "build_parser"]
-
-
-def _make_backend(name: str, num_devices: int):
-    """Instantiate a backend by CLI name."""
-    if name == "ianus":
-        return IanusSystem(SystemConfig.ianus(), num_devices=num_devices)
-    if name == "npu-mem":
-        return NpuMemSystem(num_devices=num_devices)
-    if name == "partitioned":
-        return IanusSystem(SystemConfig.partitioned(), num_devices=num_devices)
-    if name == "a100":
-        return A100Gpu()
-    if name == "dfx":
-        return DfxAppliance()
-    raise ValueError(f"unknown backend {name!r}")
-
-
-BACKENDS = ("ianus", "npu-mem", "partitioned", "a100", "dfx")
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -117,7 +106,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "of individual sweep cells")
     _add_cache_flags(bench)
 
-    subparsers.add_parser("list", help="list models, backends and experiments")
+    serve = subparsers.add_parser(
+        "serve", help="simulate request-level serving of a trace on one backend"
+    )
+    serve.add_argument("--model", default="gpt2-xl", help="model name (see `repro list`)")
+    serve.add_argument("--backend", default="ianus", choices=BACKENDS)
+    serve.add_argument("--devices", type=int, default=1,
+                       help="number of IANUS devices (simulator backends only)")
+    serve.add_argument("--policy", choices=("fcfs", "interleaved"),
+                       default="interleaved")
+    serve.add_argument("--trace", default="gpt2-paper",
+                       help="trace generator name (see `repro list`)")
+    serve.add_argument("--requests", type=int, default=32,
+                       help="number of requests in the trace")
+    serve.add_argument("--seed", type=int, default=0, help="trace seed")
+    rate_group = serve.add_mutually_exclusive_group()
+    rate_group.add_argument("--rate", type=float, default=None,
+                            help="Poisson arrival rate in requests/s")
+    rate_group.add_argument("--load", type=float, default=0.5,
+                            help="offered load as a fraction of the backend's "
+                                 "nominal capacity (default 0.5)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="decode-batch cap of the interleaved policy")
+    serve.add_argument("--exact", action="store_true",
+                       help="price every decode KV length exactly instead of "
+                            "interpolating over sampled anchors")
+    serve.add_argument("--batch-share", type=float, default=1.0,
+                       help="fraction of the decode cost floor shared across "
+                            "a fused batch (default 1.0)")
+    serve.add_argument("--per-request", action="store_true",
+                       help="also print one line per completed request")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="write the serving metrics as JSON")
+    _add_cache_flags(serve)
+
+    subparsers.add_parser(
+        "list",
+        help="list models, backends, experiments, sweeps and trace generators",
+    )
     return parser
 
 
@@ -215,8 +241,99 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if all(t.ok for t in outcome.report.timings) else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import flush_disk_caches, install_disk_caches
+    from repro.serving import ServingSimulator, get_trace_generator, mean_service_time_s
+
+    try:
+        model = get_model(args.model)
+    except KeyError:
+        print(f"unknown model {args.model!r}; see `repro list`", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("--requests must be at least 1", file=sys.stderr)
+        return 2
+    if args.rate is not None and args.rate <= 0:
+        print("--rate must be positive", file=sys.stderr)
+        return 2
+    if args.rate is None and args.load <= 0:
+        print("--load must be positive", file=sys.stderr)
+        return 2
+    if args.max_batch < 1:
+        print("--max-batch must be at least 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.batch_share <= 1.0:
+        print("--batch-share must be in [0, 1]", file=sys.stderr)
+        return 2
+    try:
+        generator = get_trace_generator(args.trace)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    if not args.no_disk_cache:
+        install_disk_caches(args.cache_dir)
+    try:
+        backend = _make_backend(args.backend, args.devices)
+        if args.rate is not None:
+            rate_rps = args.rate
+        else:
+            service_s = mean_service_time_s(
+                backend, model, generator.workloads, exact=args.exact
+            )
+            rate_rps = args.load / service_s
+            print(f"nominal capacity : {1.0 / service_s:.3f} requests/s "
+                  f"-> load {args.load} = {rate_rps:.3f} requests/s")
+        trace = generator.generate(args.requests, rate_rps, seed=args.seed)
+        simulator = ServingSimulator(
+            backend, model,
+            policy=args.policy,
+            max_batch=args.max_batch,
+            exact=args.exact,
+            batch_share=args.batch_share,
+        )
+        try:
+            metrics = simulator.simulate(trace)
+        except ValueError as error:  # e.g. decoding trace on an encoder model
+            print(str(error), file=sys.stderr)
+            return 2
+    finally:
+        if not args.no_disk_cache:
+            flush_disk_caches()
+
+    print(f"trace           : {args.trace} x{args.requests} @ "
+          f"{rate_rps:.3f} req/s (seed {args.seed})")
+    print(metrics.summary())
+    stats = backend.cache_stats()
+    if stats:
+        print(f"pass-cost cache : {stats.get('hits', 0)} hits / "
+              f"{stats.get('misses', 0)} misses "
+              f"({stats.get('hit_rate', 0.0):.0%} hit rate)")
+    if args.per_request:
+        print()
+        print(f"{'id':>4} {'arrival':>9} {'TTFT':>9} {'latency':>9} {'TPOT':>8}  (in,out)")
+        for req in metrics.per_request:
+            print(f"{req.request_id:>4} {req.arrival_s:>8.3f}s {req.ttft_s:>8.3f}s "
+                  f"{req.latency_s:>8.3f}s {req.tpot_s * 1e3:>6.2f}ms  "
+                  f"({req.input_tokens},{req.output_tokens})")
+    if args.json:
+        try:
+            with open(args.json, "w") as handle:
+                json.dump(metrics.to_dict(), handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write serving metrics to {args.json}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"serving metrics written to {args.json}")
+    return 0
+
+
 def _run_list() -> int:
-    from repro.experiments.registry import EXPERIMENTS
+    from repro.experiments.registry import EXPERIMENTS, SWEEPS, get_sweep
+    from repro.serving import TRACES
 
     print("models:")
     for key, model in ALL_MODELS.items():
@@ -229,6 +346,21 @@ def _run_list() -> int:
     print("experiments:")
     for identifier, (description, _) in EXPERIMENTS.items():
         print(f"  {identifier:<26} {description}")
+    print()
+    print("sweeps (shardable under `repro bench --jobs N`):")
+    for identifier in SWEEPS:
+        fast_cells = len(get_sweep(identifier, fast=True).cells)
+        full_cells = len(get_sweep(identifier, fast=False).cells)
+        cells = (
+            f"{fast_cells} cells"
+            if fast_cells == full_cells
+            else f"{fast_cells} cells ({full_cells} with --full)"
+        )
+        print(f"  {identifier:<26} {cells}")
+    print()
+    print("serving traces (`repro serve --trace`):")
+    for name, generator in TRACES.items():
+        print(f"  {name:<26} {generator.describe()}")
     return 0
 
 
@@ -241,6 +373,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "list":
         return _run_list()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

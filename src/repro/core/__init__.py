@@ -1,10 +1,22 @@
-"""The IANUS system model: end-to-end simulation, results, multi-device scaling."""
+"""The IANUS system model: cost models, end-to-end simulation, results, scaling."""
 
+from repro.core.costmodel import (
+    BACKEND_NAMES,
+    CostModel,
+    PassCost,
+    lerp_pass_cost,
+    make_cost_model,
+)
 from repro.core.multi_device import MultiIanusSystem, ScalingPoint, devices_required
 from repro.core.results import InferenceResult, StageResult, merge_breakdowns
 from repro.core.system import IanusSystem
 
 __all__ = [
+    "BACKEND_NAMES",
+    "CostModel",
+    "PassCost",
+    "lerp_pass_cost",
+    "make_cost_model",
     "MultiIanusSystem",
     "ScalingPoint",
     "devices_required",

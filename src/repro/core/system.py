@@ -25,6 +25,7 @@ from dataclasses import replace
 
 from repro.compiler.compiler import Compiler
 from repro.config import MemoryPolicy, SystemConfig
+from repro.core.costmodel import PassCost
 from repro.core.results import InferenceResult, StageResult, merge_breakdowns
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.memory import make_memory_system
@@ -237,6 +238,22 @@ class IanusSystem:
     # ------------------------------------------------------------------
     # One full pass through the model (all blocks + embedding + LM head)
     # ------------------------------------------------------------------
+    def pass_cost(self, model: ModelConfig, stage_pass: StagePass) -> PassCost:
+        """One pass priced through the :class:`~repro.core.costmodel.CostModel`
+        protocol: the memoized event-engine simulation of :meth:`_pass_cost`
+        with the activity statistics converted to dynamic energy."""
+        latency, breakdown, stats, flops = self._pass_cost(model, stage_pass)
+        return PassCost(
+            latency_s=latency,
+            breakdown=breakdown,
+            energy=self.energy_model.from_stats(stats),
+            flops=flops,
+        )
+
+    def cache_stats(self) -> dict:
+        """Counters of the pass-cost cache this system routes through."""
+        return self.pass_cache.stats() if self.pass_cache is not None else {}
+
     def _pass_cost(self, model: ModelConfig, stage_pass: StagePass):
         """Latency, breakdown, activity and FLOPs of one full model pass.
 

@@ -6,56 +6,95 @@ reports 10.5-13.4x lower normal-memory energy, 6.3-10.2x lower core energy
 and overall energy-efficiency improvements of 3.7x / 3.6x / 3.9x / 4.4x for
 GPT-2 M / L / XL / 2.5B (with L improving less than M because its 1280
 embedding dimension needs twice the row activations of a 1024-wide model).
+
+Declared as a :class:`~repro.experiments.base.Sweep` of one cell per
+(model, backend) point; the normalisation to IANUS/GPT-2 M happens in the
+reduce step, which needs every cell's energy.
 """
 
 from __future__ import annotations
 
-from repro.baselines.npu_mem import NpuMemSystem
-from repro.config import SystemConfig
-from repro.core.system import IanusSystem
-from repro.experiments.base import ExperimentResult
-from repro.models import GPT2_CONFIGS, Workload
+from repro.experiments.base import Cell, ExperimentResult, Sweep
+from repro.models import Workload
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 WORKLOAD = Workload(input_tokens=256, output_tokens=512)
 PAPER_EFFICIENCY_GAINS = {"m": 3.7, "l": 3.6, "xl": 3.9, "2.5b": 4.4}
 
+BACKENDS = ("npu_mem", "ianus")
+
+
+def sweep(fast: bool = True) -> Sweep:
+    """One cell per (model, backend) energy measurement."""
+    del fast
+    from repro.models import GPT2_CONFIGS
+
+    cells = [
+        Cell(f"{key}/{backend}", {"model_key": key, "backend": backend})
+        for key in GPT2_CONFIGS
+        for backend in BACKENDS
+    ]
+    return Sweep("fig11", cells, _run_cell, _reduce)
+
 
 def run(fast: bool = True) -> ExperimentResult:
-    del fast
-    ianus = IanusSystem(SystemConfig.ianus())
-    npu_mem = NpuMemSystem()
+    return sweep(fast).execute()
 
-    energies: dict[str, dict[str, object]] = {}
-    for key, model in GPT2_CONFIGS.items():
-        energies[key] = {
-            "ianus": ianus.run(model, WORKLOAD).energy,
-            "npu_mem": npu_mem.run(model, WORKLOAD).energy,
-        }
 
-    reference = energies["m"]["ianus"].total_j
+def _run_cell(params: dict) -> dict:
+    """Dynamic-energy components of one (model, backend) run (pure)."""
+    from repro.baselines.npu_mem import NpuMemSystem
+    from repro.config import SystemConfig
+    from repro.core.system import IanusSystem
+    from repro.models import GPT2_CONFIGS
+
+    model = GPT2_CONFIGS[params["model_key"]]
+    if params["backend"] == "ianus":
+        system = IanusSystem(SystemConfig.ianus())
+    else:
+        system = NpuMemSystem()
+    energy = system.run(model, WORKLOAD).energy
+    return {
+        "normal_memory_j": energy.normal_memory_j,
+        "pim_op_j": energy.pim_op_j,
+        "npu_cores_j": energy.npu_cores_j,
+    }
+
+
+def _total_j(components: dict) -> float:
+    # Same summation order as EnergyBreakdown.total_j.
+    return components["normal_memory_j"] + components["pim_op_j"] + components["npu_cores_j"]
+
+
+def _reduce(grid: Sweep, outputs: dict[str, dict]) -> ExperimentResult:
+    from repro.models import GPT2_CONFIGS
+
+    reference = _total_j(outputs["m/ianus"])
     rows: list[list] = []
     gains: dict[str, float] = {}
     normal_reductions: dict[str, float] = {}
     core_reductions: dict[str, float] = {}
-    for key, model_energies in energies.items():
+    for key in GPT2_CONFIGS:
         model = GPT2_CONFIGS[key]
-        for backend in ("npu_mem", "ianus"):
-            energy = model_energies[backend]
-            normalized = energy.normalized_to(reference)
+        for backend in BACKENDS:
+            energy = outputs[f"{key}/{backend}"]
             rows.append(
                 [model.name, backend.replace("_", "-").upper(),
-                 round(normalized["normal_memory"], 2), round(normalized["pim_op"], 2),
-                 round(normalized["npu_cores"], 2), round(normalized["total"], 2)]
+                 round(energy["normal_memory_j"] / reference, 2),
+                 round(energy["pim_op_j"] / reference, 2),
+                 round(energy["npu_cores_j"] / reference, 2),
+                 round(_total_j(energy) / reference, 2)]
             )
-        ianus_energy = model_energies["ianus"]
-        npu_energy = model_energies["npu_mem"]
-        gains[key] = npu_energy.total_j / ianus_energy.total_j
+        ianus_energy = outputs[f"{key}/ianus"]
+        npu_energy = outputs[f"{key}/npu_mem"]
+        gains[key] = _total_j(npu_energy) / _total_j(ianus_energy)
         normal_reductions[key] = (
-            npu_energy.normal_memory_j / max(ianus_energy.normal_memory_j, 1e-12)
+            npu_energy["normal_memory_j"] / max(ianus_energy["normal_memory_j"], 1e-12)
         )
-        core_reductions[key] = npu_energy.npu_cores_j / max(ianus_energy.npu_cores_j, 1e-12)
+        core_reductions[key] = (
+            npu_energy["npu_cores_j"] / max(ianus_energy["npu_cores_j"], 1e-12)
+        )
 
     return ExperimentResult(
         experiment_id="fig11",

@@ -15,6 +15,10 @@ the unified system beats the scheduled partitioned system by 1.4-1.6x
 (2.5B benefits more because its FC parameters cannot be fully duplicated),
 and unified-memory-aware scheduling for multi-head attention yields an
 average 34% improvement.
+
+Declared as a :class:`~repro.experiments.base.Sweep` of one cell per
+(model, configuration) point; normalisation to the naive partitioned
+baseline happens in the reduce step.
 """
 
 from __future__ import annotations
@@ -25,11 +29,10 @@ from repro.config import (
     SchedulingPolicy,
     SystemConfig,
 )
-from repro.core.system import IanusSystem
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import Cell, ExperimentResult, Sweep
 from repro.models import GPT2_CONFIGS, Workload
 
-__all__ = ["run", "CONFIGURATIONS"]
+__all__ = ["run", "sweep", "CONFIGURATIONS"]
 
 WORKLOAD = Workload(input_tokens=256, output_tokens=512)
 
@@ -68,15 +71,39 @@ CONFIGURATIONS: list[tuple[str, SystemConfig]] = [
 ]
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def sweep(fast: bool = True) -> Sweep:
+    """One cell per (model, configuration) latency measurement."""
     del fast
+    cells = [
+        Cell(f"{key}/cfg{index}", {"model_key": key, "config_index": index})
+        for key in GPT2_CONFIGS
+        for index in range(len(CONFIGURATIONS))
+    ]
+    return Sweep("fig13", cells, _run_cell, _reduce)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return sweep(fast).execute()
+
+
+def _run_cell(params: dict) -> dict:
+    """Latency of one model under one memory/scheduling configuration (pure)."""
+    from repro.core.system import IanusSystem
+
+    model = GPT2_CONFIGS[params["model_key"]]
+    _, config = CONFIGURATIONS[params["config_index"]]
+    system = IanusSystem(config)
+    return {"latency_s": system.run(model, WORKLOAD).total_latency_s}
+
+
+def _reduce(grid: Sweep, outputs: dict[str, dict]) -> ExperimentResult:
     rows: list[list] = []
     speedups: dict[str, dict[str, float]] = {}
     for key, model in GPT2_CONFIGS.items():
-        latencies: dict[str, float] = {}
-        for label, config in CONFIGURATIONS:
-            system = IanusSystem(config)
-            latencies[label] = system.run(model, WORKLOAD).total_latency_s
+        latencies = {
+            label: outputs[f"{key}/cfg{index}"]["latency_s"]
+            for index, (label, _) in enumerate(CONFIGURATIONS)
+        }
         baseline = latencies[CONFIGURATIONS[0][0]]
         speedups[key] = {label: baseline / value for label, value in latencies.items()}
         for label, _ in CONFIGURATIONS:

@@ -25,6 +25,7 @@ from repro.experiments import (
     fig17_scalability,
     fig18_strong_scaling,
     prototype_validation,
+    serving_throughput,
     tables,
 )
 from repro.experiments.base import ExperimentResult, Sweep
@@ -55,6 +56,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "fig15": ("sensitivity to cores and PIM chips", fig15_sensitivity.run),
     "fig17": ("larger LLMs on multiple IANUS devices", fig17_scalability.run),
     "fig18": ("strong scaling on GPT 6.7B", fig18_strong_scaling.run),
+    "serving": (
+        "request-level serving: load sweep x backend x policy", serving_throughput.run
+    ),
     "cost": ("performance/TDP cost analysis", cost_analysis.run),
     "prototype": ("functional validation (FPGA-prototype stand-in)", prototype_validation.run),
     "ablation-overlap": ("scheduling overlap ablation", ablations.run_overlap_ablation),
@@ -72,10 +76,16 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
 SWEEPS: dict[str, Callable[..., Sweep]] = {
     "fig08": fig08_gpt2_latency.sweep,
     "fig09": fig09_dfx_comparison.sweep,
+    "fig11": fig11_energy.sweep,
+    "fig13": fig13_memory_systems.sweep,
     "fig14": fig14_bert.sweep,
     "fig15": fig15_sensitivity.sweep,
     "fig17": fig17_scalability.sweep,
     "fig18": fig18_strong_scaling.sweep,
+    "serving": serving_throughput.sweep,
+    "ablation-overlap": ablations.overlap_sweep,
+    "ablation-address-mapping": ablations.address_mapping_sweep,
+    "ablation-fast-mode": ablations.fast_vs_exact_sweep,
 }
 
 

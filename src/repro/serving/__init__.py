@@ -1,0 +1,62 @@
+"""Request-level serving simulation on top of the unified cost-model layer.
+
+The paper (and the ``figXX`` experiments) evaluate one inference request at
+a time.  This package turns the same per-pass cost models into a
+*multi-user serving* study: a stream of timed requests shares one device,
+and a discrete-event simulator schedules their prefill/decode passes under
+a pluggable policy, reporting the metrics LLM-serving work cares about
+(TTFT, TPOT, latency percentiles, tokens/s, device utilization).
+
+Layering — who knows what:
+
+:mod:`repro.serving.request`
+    :class:`Request` (arrival time + token counts) and the per-request
+    :class:`RequestMetrics`.  Knows nothing about backends.
+:mod:`repro.serving.trace`
+    Deterministic seeded Poisson trace generators over named workload mixes
+    (:data:`~repro.serving.trace.TRACES`).  Knows nothing about backends.
+:mod:`repro.serving.simulator`
+    :class:`ServingSimulator`: schedules token-granularity passes whose
+    costs come from *any* :class:`repro.core.costmodel.CostModel` (IANUS,
+    NPU-MEM, A100, DFX), with FCFS run-to-completion and interleaved
+    continuous-batching policies.  The only layer that touches cost models,
+    and only through the protocol.
+
+The ``serving`` experiment (:mod:`repro.experiments.serving_throughput`)
+sweeps offered load x backend x policy as a shardable
+:class:`~repro.experiments.base.Sweep`, and ``repro serve`` exposes a
+single simulation from the command line.
+"""
+
+from repro.serving.request import Request, RequestMetrics
+from repro.serving.simulator import (
+    POLICIES,
+    FcfsPolicy,
+    InterleavedPolicy,
+    PassCostProvider,
+    ServingMetrics,
+    ServingPolicy,
+    ServingSimulator,
+    make_policy,
+    mean_service_time_s,
+    percentile,
+)
+from repro.serving.trace import TRACES, TraceGenerator, get_trace_generator
+
+__all__ = [
+    "Request",
+    "RequestMetrics",
+    "TraceGenerator",
+    "TRACES",
+    "get_trace_generator",
+    "PassCostProvider",
+    "ServingPolicy",
+    "FcfsPolicy",
+    "InterleavedPolicy",
+    "POLICIES",
+    "make_policy",
+    "ServingMetrics",
+    "ServingSimulator",
+    "mean_service_time_s",
+    "percentile",
+]

@@ -1,0 +1,102 @@
+"""Serving requests and their per-request latency metrics.
+
+A :class:`Request` is one inference job in a multi-user trace: it arrives at
+``arrival_s``, carries ``input_tokens`` of prompt and wants ``output_tokens``
+of completion.  It is the serving-level counterpart of
+:class:`repro.models.workload.Workload` (which describes the *shape* of a
+request with no notion of time); :meth:`Request.workload` converts back for
+code that speaks the single-request vocabulary.
+
+:class:`RequestMetrics` is what the simulator records once a request
+completes: the three timestamps every serving study cares about (arrival,
+first token, completion) plus the token counts, from which the standard
+derived metrics follow — TTFT (time to first token), TPOT (time per output
+token after the first) and end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.workload import Workload
+
+__all__ = ["Request", "RequestMetrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One inference request of a serving trace."""
+
+    request_id: int
+    arrival_s: float
+    input_tokens: int
+    output_tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.input_tokens <= 0:
+            raise ValueError("input_tokens must be positive")
+        if self.output_tokens < 1:
+            raise ValueError("output_tokens must be at least 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    @property
+    def num_generation_passes(self) -> int:
+        """Decode passes after the prefill (which produces the first token)."""
+        return self.output_tokens - 1
+
+    def workload(self) -> Workload:
+        """The single-request workload shape of this request."""
+        return Workload(self.input_tokens, self.output_tokens)
+
+    def label(self) -> str:
+        return f"#{self.request_id}@{self.arrival_s:.3f}s ({self.input_tokens},{self.output_tokens})"
+
+
+@dataclass(frozen=True, slots=True)
+class RequestMetrics:
+    """Timestamps and token counts of one completed request."""
+
+    request_id: int
+    arrival_s: float
+    first_token_s: float
+    completion_s: float
+    input_tokens: int
+    output_tokens: int
+
+    # ------------------------------------------------------------------
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token: queueing delay plus the prefill pass."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency (arrival to last token)."""
+        return self.completion_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Mean time per output token after the first (0 for 1-token requests)."""
+        if self.output_tokens <= 1:
+            return 0.0
+        return (self.completion_s - self.first_token_s) / (self.output_tokens - 1)
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation (used by reports and determinism tests)."""
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "first_token_s": self.first_token_s,
+            "completion_s": self.completion_s,
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+            "ttft_s": self.ttft_s,
+            "latency_s": self.latency_s,
+            "tpot_s": self.tpot_s,
+        }

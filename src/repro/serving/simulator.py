@@ -1,0 +1,618 @@
+"""Discrete-event request-level serving simulator over the cost-model layer.
+
+:class:`ServingSimulator` plays a trace of
+:class:`~repro.serving.request.Request` objects against one device whose
+per-pass costs come from any :class:`~repro.core.costmodel.CostModel` — the
+IANUS simulator, the NPU-MEM variant, or the A100/DFX analytical baselines.
+Time advances at *pass* granularity (one prefill pass or one decode
+iteration at a time), which is exactly the scheduling granularity of
+iteration-level serving systems (Orca, vLLM): between any two passes the
+scheduler may admit new arrivals or change the decode batch.
+
+Scheduling policies
+-------------------
+:class:`FcfsPolicy`
+    Classic run-to-completion: requests are served one at a time in arrival
+    order; an arrival behind a long generation waits for the whole request.
+:class:`InterleavedPolicy`
+    Continuous batching: up to ``max_batch`` requests are in flight; new
+    arrivals are prefilled as soon as a slot is free (prefill priority, one
+    prefill per iteration), and all in-flight requests advance one token per
+    fused decode iteration.
+
+Batched-decode cost model
+-------------------------
+The cost layer prices *single-request* passes, so the simulator derives the
+cost of a fused decode iteration from it explicitly.  Decode passes on every
+evaluated backend are dominated by streaming the FC weights, which a batch
+shares; the per-request remainder (KV-cache traffic, attention) is not
+shared.  With ``c(kv)`` the single-request decode cost and ``base = c(1)``
+(the weight-streaming plus fixed-overhead floor), a batch at KV lengths
+``kv_1..kv_B`` is charged::
+
+    latency = sum_i c(kv_i).latency - share * (B - 1) * base.latency
+
+i.e. the shared floor is paid once and every request pays its KV-dependent
+marginal, floored at the slowest member (a fused pass cannot beat its
+largest request).  ``share`` (default 1.0) scales how much of the floor is
+shareable; ``share=0`` recovers fully serial decoding.  A batch of one is by
+construction *exactly* the single-request pass cost, which is what makes a
+one-request trace reproduce ``IanusSystem.run(mode="exact")`` latency.
+Energy follows the same sharing (shared weight reads are shared DRAM
+energy); FLOPs sum fully — batching shares bytes, not math.
+
+Pass-cost provider
+------------------
+:class:`PassCostProvider` fronts the cost model: prefill costs are always
+priced exactly (few distinct prompt lengths per mix), decode costs either
+exactly per KV length (``exact=True``) or by piecewise-linear interpolation
+over ``kv_samples`` anchor lengths — the serving-level counterpart of the
+fast generation mode of :meth:`repro.core.system.IanusSystem.run`, and the
+reason a load sweep touches a handful of simulated passes instead of
+thousands.  Every anchor evaluation routes through the backend's shared
+(persistently cacheable) pass-cost cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.costmodel import CostModel, PassCost, lerp_pass_cost
+from repro.energy.model import EnergyBreakdown
+from repro.models.transformer import ModelConfig
+from repro.models.workload import Stage, StagePass
+from repro.serving.request import Request, RequestMetrics
+
+__all__ = [
+    "PassCostProvider",
+    "ServingPolicy",
+    "FcfsPolicy",
+    "InterleavedPolicy",
+    "POLICIES",
+    "make_policy",
+    "ServingMetrics",
+    "ServingSimulator",
+    "mean_service_time_s",
+    "percentile",
+]
+
+#: Default number of KV-length anchors of the interpolating provider.
+DEFAULT_KV_SAMPLES = 9
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile with linear interpolation between ranks.
+
+    Deterministic and dependency-free (no numpy): sort, place ``q`` on the
+    ``(n - 1)``-step rank axis, interpolate between the two bracketing
+    order statistics.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    position = q / 100.0 * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] + weight * (ordered[upper] - ordered[lower])
+
+
+# ----------------------------------------------------------------------
+# Pass-cost provider
+# ----------------------------------------------------------------------
+class PassCostProvider:
+    """Exact or KV-interpolating per-pass costing over one cost model."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        model: ModelConfig,
+        exact: bool = False,
+        kv_samples: int = DEFAULT_KV_SAMPLES,
+    ) -> None:
+        if kv_samples < 2:
+            raise ValueError("kv_samples must be at least 2")
+        self.cost_model = cost_model
+        self.model = model
+        self.exact = exact
+        self.kv_samples = kv_samples
+        self._prefill_costs: dict[int, PassCost] = {}
+        #: Exactly-priced decode costs — valid forever, kept across prepare().
+        self._exact_costs: dict[int, PassCost] = {}
+        #: Interpolated decode costs — anchor-grid-dependent, cleared by
+        #: prepare() so a reused provider never mixes two grids.
+        self._interp_costs: dict[int, PassCost] = {}
+        self._anchors: list[int] = []
+
+    # ------------------------------------------------------------------
+    def prepare(self, kv_min: int, kv_max: int) -> None:
+        """Choose the decode anchor grid for a known KV range.
+
+        Anchors are evaluated lazily; ``prepare`` only fixes their
+        positions.  KV length 1 is always an anchor — it is the shared
+        ``base`` of the fused-decode cost model.  Interpolated costs from a
+        previous grid are dropped, so reusing a provider (or simulator)
+        across traces yields the same metrics as a fresh one.
+        """
+        if kv_max < kv_min:
+            raise ValueError("kv_max must be at least kv_min")
+        anchors = {1, kv_min, kv_max}
+        if kv_max > kv_min:
+            step = (kv_max - kv_min) / (self.kv_samples - 1)
+            anchors.update(
+                int(round(kv_min + i * step)) for i in range(self.kv_samples)
+            )
+        self._anchors = sorted(anchors)
+        self._interp_costs.clear()
+
+    def prefill(self, input_tokens: int) -> PassCost:
+        """Cost of the summarization (prefill) pass — always exact."""
+        cost = self._prefill_costs.get(input_tokens)
+        if cost is None:
+            cost = self.cost_model.pass_cost(
+                self.model,
+                StagePass(Stage.SUMMARIZATION, input_tokens, input_tokens),
+            )
+            self._prefill_costs[input_tokens] = cost
+        return cost
+
+    def decode(self, kv_length: int) -> PassCost:
+        """Cost of one single-request decode pass at ``kv_length``."""
+        cost = self._exact_costs.get(kv_length)
+        if cost is not None:
+            return cost
+        if self.exact or kv_length in self._anchors or len(self._anchors) < 2:
+            return self._decode_exact(kv_length)
+        cost = self._interp_costs.get(kv_length)
+        if cost is None:
+            position = bisect.bisect_left(self._anchors, kv_length)
+            position = min(max(position, 1), len(self._anchors) - 1)
+            low, high = self._anchors[position - 1], self._anchors[position]
+            weight = (kv_length - low) / (high - low)
+            cost = lerp_pass_cost(
+                self._decode_exact(low), self._decode_exact(high), weight
+            )
+            self._interp_costs[kv_length] = cost
+        return cost
+
+    def base(self) -> PassCost:
+        """The KV-independent decode floor (``c(1)``): weights + overheads."""
+        return self._decode_exact(1)
+
+    def _decode_exact(self, kv_length: int) -> PassCost:
+        cost = self._exact_costs.get(kv_length)
+        if cost is None:
+            cost = self.cost_model.pass_cost(
+                self.model, StagePass(Stage.GENERATION, 1, kv_length)
+            )
+            self._exact_costs[kv_length] = cost
+        return cost
+
+
+def _decode_kv_bounds(items) -> "tuple[int, int] | None":
+    """(min, max) decode KV length over requests or workloads, or ``None``.
+
+    A request's decode passes span KV lengths ``input+1 .. input+output-1``
+    (the prefill produces the first output token); items generating a single
+    token contribute no decode pass.  Works on anything exposing
+    ``input_tokens``/``output_tokens`` (:class:`~repro.serving.request.Request`,
+    :class:`~repro.models.workload.Workload`).
+    """
+    bounds = [
+        bound
+        for item in items
+        if item.output_tokens > 1
+        for bound in (
+            item.input_tokens + 1,
+            item.input_tokens + item.output_tokens - 1,
+        )
+    ]
+    if not bounds:
+        return None
+    return min(bounds), max(bounds)
+
+
+def mean_service_time_s(
+    cost_model: CostModel,
+    model: ModelConfig,
+    workloads: "Sequence",
+    exact: bool = False,
+    kv_samples: int = DEFAULT_KV_SAMPLES,
+) -> float:
+    """Mean run-to-completion service time of a workload mix (uniform weights).
+
+    The reciprocal is the backend's nominal capacity in requests/s — the
+    arrival rate at which an ideal, never-idle FCFS server would be exactly
+    saturated.  Load sweeps use it to express offered load as a fraction of
+    each backend's capacity, so curves are comparable across backends whose
+    absolute speeds differ by an order of magnitude.
+    """
+    if not workloads:
+        raise ValueError("workloads must be non-empty")
+    provider = PassCostProvider(cost_model, model, exact=exact, kv_samples=kv_samples)
+    kv_bounds = _decode_kv_bounds(workloads)
+    if kv_bounds is not None:
+        provider.prepare(*kv_bounds)
+    total = 0.0
+    for workload in workloads:
+        service = provider.prefill(workload.input_tokens).latency_s
+        for kv in range(
+            workload.input_tokens + 1,
+            workload.input_tokens + workload.output_tokens,
+        ):
+            service += provider.decode(kv).latency_s
+        total += service
+    return total / len(workloads)
+
+
+# ----------------------------------------------------------------------
+# Scheduling policies
+# ----------------------------------------------------------------------
+class ServingPolicy:
+    """Decides what the device executes between two passes.
+
+    ``admit`` answers whether the head of the waiting queue may be prefilled
+    now; ``decode_batch`` picks the in-flight requests that advance one
+    token in the next decode iteration.  Policies never reorder the waiting
+    queue — admission is always in arrival order.
+    """
+
+    name = "policy"
+
+    def admit(self, active_count: int) -> bool:
+        raise NotImplementedError
+
+    def decode_batch(self, active: "Sequence[_InFlight]") -> "list[_InFlight]":
+        raise NotImplementedError
+
+
+class FcfsPolicy(ServingPolicy):
+    """First-come-first-served, run-to-completion, one request at a time."""
+
+    name = "fcfs"
+
+    def admit(self, active_count: int) -> bool:
+        return active_count == 0
+
+    def decode_batch(self, active):
+        return list(active[:1])
+
+
+class InterleavedPolicy(ServingPolicy):
+    """Iteration-level continuous batching with prefill priority."""
+
+    name = "interleaved"
+
+    def __init__(self, max_batch: int = 8) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.max_batch = max_batch
+
+    def admit(self, active_count: int) -> bool:
+        return active_count < self.max_batch
+
+    def decode_batch(self, active):
+        return list(active[: self.max_batch])
+
+
+POLICIES = {"fcfs": FcfsPolicy, "interleaved": InterleavedPolicy}
+
+
+def make_policy(name: str, max_batch: int = 8) -> ServingPolicy:
+    """Instantiate a scheduling policy by name."""
+    if name == "fcfs":
+        return FcfsPolicy()
+    if name == "interleaved":
+        return InterleavedPolicy(max_batch=max_batch)
+    raise ValueError(f"unknown policy {name!r}; known: {', '.join(POLICIES)}")
+
+
+# ----------------------------------------------------------------------
+# Simulator
+# ----------------------------------------------------------------------
+@dataclass
+class _InFlight:
+    """Mutable in-flight request state (internal to the simulator)."""
+
+    request: Request
+    generated: int = 0
+    first_token_s: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+    @property
+    def next_kv_length(self) -> int:
+        """KV length of this request's next decode pass."""
+        return self.request.input_tokens + self.generated
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Aggregate metrics of one simulated trace (plus per-request detail)."""
+
+    backend: str
+    model: str
+    policy: str
+    num_requests: int
+    makespan_s: float
+    busy_s: float
+    utilization: float
+    output_tokens: int
+    tokens_per_s: float
+    requests_per_s: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    ttft_mean_s: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tpot_mean_s: float
+    energy_j: float
+    flops: float
+    prefill_passes: int
+    decode_passes: int
+    mean_decode_batch: float
+    per_request: tuple[RequestMetrics, ...] = field(default_factory=tuple)
+
+    def to_dict(self, include_requests: bool = True) -> dict:
+        """JSON-stable representation (reports and determinism tests)."""
+        data = {
+            "backend": self.backend,
+            "model": self.model,
+            "policy": self.policy,
+            "num_requests": self.num_requests,
+            "makespan_s": self.makespan_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "output_tokens": self.output_tokens,
+            "tokens_per_s": self.tokens_per_s,
+            "requests_per_s": self.requests_per_s,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+            "ttft_mean_s": self.ttft_mean_s,
+            "ttft_p50_s": self.ttft_p50_s,
+            "ttft_p99_s": self.ttft_p99_s,
+            "tpot_mean_s": self.tpot_mean_s,
+            "energy_j": self.energy_j,
+            "flops": self.flops,
+            "prefill_passes": self.prefill_passes,
+            "decode_passes": self.decode_passes,
+            "mean_decode_batch": self.mean_decode_batch,
+        }
+        if include_requests:
+            data["per_request"] = [metrics.to_dict() for metrics in self.per_request]
+        return data
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (``repro serve`` prints this)."""
+        return "\n".join(
+            [
+                f"backend         : {self.backend}",
+                f"model           : {self.model}",
+                f"policy          : {self.policy}",
+                f"requests        : {self.num_requests} "
+                f"({self.output_tokens} output tokens)",
+                f"makespan        : {self.makespan_s:.3f} s "
+                f"(device busy {self.busy_s:.3f} s, {self.utilization:.0%} utilized)",
+                f"throughput      : {self.tokens_per_s:.1f} tokens/s, "
+                f"{self.requests_per_s:.2f} requests/s",
+                f"latency         : mean {self.latency_mean_s * 1e3:.1f} ms, "
+                f"p50 {self.latency_p50_s * 1e3:.1f} ms, "
+                f"p99 {self.latency_p99_s * 1e3:.1f} ms",
+                f"TTFT            : mean {self.ttft_mean_s * 1e3:.1f} ms, "
+                f"p50 {self.ttft_p50_s * 1e3:.1f} ms, "
+                f"p99 {self.ttft_p99_s * 1e3:.1f} ms",
+                f"TPOT            : mean {self.tpot_mean_s * 1e3:.3f} ms/token",
+                f"passes          : {self.prefill_passes} prefill, "
+                f"{self.decode_passes} decode "
+                f"(mean batch {self.mean_decode_batch:.2f})",
+                f"dynamic energy  : {self.energy_j * 1e3:.1f} mJ",
+            ]
+        )
+
+
+class ServingSimulator:
+    """Single-device discrete-event serving simulator.
+
+    Parameters
+    ----------
+    cost_model:
+        Any :class:`~repro.core.costmodel.CostModel` backend.
+    model:
+        The served model; must be a decoder when any request generates more
+        than one token.
+    policy:
+        ``"fcfs"``, ``"interleaved"``, or a :class:`ServingPolicy` instance.
+    max_batch:
+        Decode-batch cap of the interleaved policy.
+    exact:
+        Price every decode KV length exactly instead of interpolating over
+        ``kv_samples`` anchors (see :class:`PassCostProvider`).
+    batch_share:
+        Fraction of the decode cost floor shared across a fused batch (see
+        the module docstring); 1.0 models fully shared weight streaming.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        model: ModelConfig,
+        policy: "ServingPolicy | str" = "interleaved",
+        max_batch: int = 8,
+        exact: bool = False,
+        kv_samples: int = DEFAULT_KV_SAMPLES,
+        batch_share: float = 1.0,
+    ) -> None:
+        if not 0.0 <= batch_share <= 1.0:
+            raise ValueError("batch_share must be in [0, 1]")
+        self.cost_model = cost_model
+        self.model = model
+        self.policy = make_policy(policy, max_batch) if isinstance(policy, str) else policy
+        self.batch_share = batch_share
+        self.provider = PassCostProvider(
+            cost_model, model, exact=exact, kv_samples=kv_samples
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(self, requests: Sequence[Request]) -> ServingMetrics:
+        """Play a trace to completion and return its metrics."""
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        if not ordered:
+            return self._finalize([], 0.0, 0.0, EnergyBreakdown.zero(), 0.0, 0, 0, 0)
+        if not self.model.is_decoder and any(r.output_tokens > 1 for r in ordered):
+            raise ValueError(
+                f"{self.model.name} is not a decoder; serving traces for it "
+                "must be summarization-only (output_tokens == 1)"
+            )
+        kv_bounds = _decode_kv_bounds(ordered)
+        if kv_bounds is not None:
+            self.provider.prepare(*kv_bounds)
+
+        pending = deque(ordered)
+        waiting: deque[Request] = deque()
+        active: list[_InFlight] = []
+        completed: list[RequestMetrics] = []
+        clock = 0.0
+        busy = 0.0
+        energy = EnergyBreakdown.zero()
+        flops = 0.0
+        prefill_passes = 0
+        decode_passes = 0
+        decode_tokens = 0
+
+        while pending or waiting or active:
+            while pending and pending[0].arrival_s <= clock:
+                waiting.append(pending.popleft())
+            if not waiting and not active:
+                clock = pending[0].arrival_s
+                continue
+
+            if waiting and self.policy.admit(len(active)):
+                request = waiting.popleft()
+                cost = self.provider.prefill(request.input_tokens)
+                clock += cost.latency_s
+                busy += cost.latency_s
+                energy = energy + cost.energy
+                flops += cost.flops
+                prefill_passes += 1
+                flight = _InFlight(request, generated=1, first_token_s=clock)
+                if flight.done:
+                    completed.append(self._completed(flight, clock))
+                else:
+                    active.append(flight)
+                continue
+
+            batch = self.policy.decode_batch(active)
+            costs = [self.provider.decode(flight.next_kv_length) for flight in batch]
+            latency, pass_energy, pass_flops = self._fused_decode(costs)
+            clock += latency
+            busy += latency
+            energy = energy + pass_energy
+            flops += pass_flops
+            decode_passes += 1
+            decode_tokens += len(batch)
+            for flight in batch:
+                flight.generated += 1
+                if flight.done:
+                    active.remove(flight)
+                    completed.append(self._completed(flight, clock))
+
+        completed.sort(key=lambda metrics: metrics.request_id)
+        makespan = clock - ordered[0].arrival_s
+        return self._finalize(
+            completed, makespan, busy, energy, flops,
+            prefill_passes, decode_passes, decode_tokens,
+        )
+
+    # ------------------------------------------------------------------
+    def _completed(self, flight: _InFlight, completion_s: float) -> RequestMetrics:
+        request = flight.request
+        return RequestMetrics(
+            request_id=request.request_id,
+            arrival_s=request.arrival_s,
+            first_token_s=flight.first_token_s,
+            completion_s=completion_s,
+            input_tokens=request.input_tokens,
+            output_tokens=request.output_tokens,
+        )
+
+    def _fused_decode(
+        self, costs: "list[PassCost]"
+    ) -> "tuple[float, EnergyBreakdown, float]":
+        """Latency, energy and FLOPs of one fused decode iteration."""
+        if len(costs) == 1:
+            only = costs[0]
+            return only.latency_s, only.energy, only.flops
+        base = self.provider.base()
+        shared = self.batch_share * (len(costs) - 1)
+        latency = sum(cost.latency_s for cost in costs) - shared * base.latency_s
+        latency = max(latency, max(cost.latency_s for cost in costs))
+        energy = EnergyBreakdown(
+            normal_memory_j=self._shared_component(
+                [c.energy.normal_memory_j for c in costs],
+                shared * base.energy.normal_memory_j,
+            ),
+            pim_op_j=self._shared_component(
+                [c.energy.pim_op_j for c in costs], shared * base.energy.pim_op_j
+            ),
+            npu_cores_j=self._shared_component(
+                [c.energy.npu_cores_j for c in costs],
+                shared * base.energy.npu_cores_j,
+            ),
+        )
+        flops = sum(cost.flops for cost in costs)  # batching shares bytes, not math
+        return latency, energy, flops
+
+    @staticmethod
+    def _shared_component(values: "list[float]", saved: float) -> float:
+        return max(sum(values) - saved, max(values))
+
+    def _finalize(
+        self,
+        completed: "list[RequestMetrics]",
+        makespan: float,
+        busy: float,
+        energy: EnergyBreakdown,
+        flops: float,
+        prefill_passes: int,
+        decode_passes: int,
+        decode_tokens: int,
+    ) -> ServingMetrics:
+        latencies = [metrics.latency_s for metrics in completed]
+        ttfts = [metrics.ttft_s for metrics in completed]
+        tpots = [metrics.tpot_s for metrics in completed if metrics.output_tokens > 1]
+        output_tokens = sum(metrics.output_tokens for metrics in completed)
+        mean = lambda values: sum(values) / len(values) if values else 0.0  # noqa: E731
+        return ServingMetrics(
+            backend=self.cost_model.name,
+            model=self.model.name,
+            policy=self.policy.name,
+            num_requests=len(completed),
+            makespan_s=makespan,
+            busy_s=busy,
+            utilization=busy / makespan if makespan > 0 else 0.0,
+            output_tokens=output_tokens,
+            tokens_per_s=output_tokens / makespan if makespan > 0 else 0.0,
+            requests_per_s=len(completed) / makespan if makespan > 0 else 0.0,
+            latency_mean_s=mean(latencies),
+            latency_p50_s=percentile(latencies, 50.0),
+            latency_p99_s=percentile(latencies, 99.0),
+            ttft_mean_s=mean(ttfts),
+            ttft_p50_s=percentile(ttfts, 50.0),
+            ttft_p99_s=percentile(ttfts, 99.0),
+            tpot_mean_s=mean(tpots),
+            energy_j=energy.total_j,
+            flops=flops,
+            prefill_passes=prefill_passes,
+            decode_passes=decode_passes,
+            mean_decode_batch=decode_tokens / decode_passes if decode_passes else 0.0,
+            per_request=tuple(completed),
+        )

@@ -1,0 +1,138 @@
+"""Deterministic seeded trace generators for the serving simulator.
+
+A :class:`TraceGenerator` turns a *workload mix* (a tuple of
+:class:`~repro.models.workload.Workload` shapes, sampled uniformly) into a
+stream of :class:`~repro.serving.request.Request` objects with Poisson
+arrivals.  Determinism is the whole point:
+
+* the RNG is seeded from ``f"{name}/{seed}"`` through :class:`random.Random`,
+  which hashes strings with SHA-512 — stable across processes and immune to
+  ``PYTHONHASHSEED``, so the same (generator, seed) always yields the same
+  trace, in every worker of a sharded sweep;
+* inter-arrival gaps are drawn at **unit rate** and divided by the requested
+  rate, and the workload-mix draws interleave with the gap draws in a fixed
+  order — so sweeping the arrival rate rescales the *same* normalized
+  arrival pattern over the *same* request sequence.  A load sweep therefore
+  compares like with like: higher load means the identical work arriving
+  faster, which is what makes measured throughput–latency curves monotone
+  instead of noisy.
+
+The registry :data:`TRACES` names the mixes the experiments (and
+``repro serve --trace``) use: the paper's GPT-2 and DFX evaluation grids
+plus an interactive chatbot mix and a summarization-only mix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.models.workload import PAPER_DFX_WORKLOADS, PAPER_GPT2_WORKLOADS, Workload
+from repro.serving.request import Request
+
+__all__ = ["TraceGenerator", "TRACES", "get_trace_generator"]
+
+
+@dataclass(frozen=True)
+class TraceGenerator:
+    """A named workload mix with Poisson arrivals.
+
+    ``workloads`` is the mix sampled uniformly per request.  ``generate`` is
+    pure: identical arguments produce identical traces (see the module
+    docstring for how rate sweeps stay comparable).
+    """
+
+    name: str
+    description: str
+    workloads: tuple[Workload, ...]
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError(f"trace generator {self.name!r} needs a non-empty mix")
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        num_requests: int,
+        rate_rps: float,
+        seed: int = 0,
+        start_s: float = 0.0,
+    ) -> tuple[Request, ...]:
+        """A trace of ``num_requests`` Poisson arrivals at ``rate_rps``."""
+        if num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        rng = random.Random(f"{self.name}/{seed}")
+        requests = []
+        clock = start_s
+        for request_id in range(num_requests):
+            # Unit-rate gap scaled by the rate: the normalized arrival
+            # pattern (and the mix sequence below) is identical across rates.
+            clock += rng.expovariate(1.0) / rate_rps
+            workload = self.workloads[rng.randrange(len(self.workloads))]
+            requests.append(
+                Request(
+                    request_id=request_id,
+                    arrival_s=clock,
+                    input_tokens=workload.input_tokens,
+                    output_tokens=workload.output_tokens,
+                )
+            )
+        return tuple(requests)
+
+    # ------------------------------------------------------------------
+    @property
+    def max_total_tokens(self) -> int:
+        """Largest input+output any request of this mix can reach."""
+        return max(workload.total_tokens for workload in self.workloads)
+
+    def describe(self) -> str:
+        shapes = ", ".join(workload.label() for workload in self.workloads[:4])
+        if len(self.workloads) > 4:
+            shapes += f", ... ({len(self.workloads)} shapes)"
+        return f"{self.description} [{shapes}]"
+
+
+#: Named trace generators, in presentation order (``repro list`` prints these).
+TRACES: dict[str, TraceGenerator] = {
+    generator.name: generator
+    for generator in (
+        TraceGenerator(
+            name="gpt2-paper",
+            description="the Fig. 8 GPT-2 evaluation grid as a request mix",
+            workloads=tuple(PAPER_GPT2_WORKLOADS),
+        ),
+        TraceGenerator(
+            name="dfx-paper",
+            description="the Fig. 9 DFX-comparison grid as a request mix",
+            workloads=tuple(PAPER_DFX_WORKLOADS),
+        ),
+        TraceGenerator(
+            name="chatbot",
+            description="interactive chat: moderate prompts, mid-length replies",
+            workloads=(
+                Workload(128, 64),
+                Workload(256, 64),
+                Workload(256, 128),
+                Workload(512, 128),
+                Workload(512, 256),
+            ),
+        ),
+        TraceGenerator(
+            name="summarize",
+            description="summarization-only: long prompts, single-token output",
+            workloads=(Workload(128, 1), Workload(256, 1), Workload(512, 1)),
+        ),
+    )
+}
+
+
+def get_trace_generator(name: str) -> TraceGenerator:
+    """Look up a registered trace generator by name."""
+    try:
+        return TRACES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace generator {name!r}; known: {', '.join(TRACES)}"
+        ) from None

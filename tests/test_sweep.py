@@ -17,8 +17,12 @@ from repro.experiments.base import Cell, ExperimentResult, Sweep
 from repro.experiments.registry import SWEEPS, get_sweep, run_experiment
 from repro.perf import run_many, write_report
 
-#: Every experiment ported to the sweep abstraction in PR 2.
-PORTED = ("fig08", "fig09", "fig14", "fig15", "fig17", "fig18")
+#: Every experiment ported to the sweep abstraction (PR 2 + PR 3).
+PORTED = (
+    "fig08", "fig09", "fig11", "fig13", "fig14", "fig15", "fig17", "fig18",
+    "serving", "ablation-overlap", "ablation-address-mapping",
+    "ablation-fast-mode",
+)
 
 
 def _toy_run_cell(params: dict) -> dict:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis.trace import overlap_matrix, render_gantt, timeline_to_records
@@ -112,3 +114,57 @@ class TestCli:
     def test_invalid_backend_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--backend", "tpu"])
+
+    def test_list_includes_sweeps_and_traces(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "sweeps (shardable" in output
+        assert "serving" in output and "cells" in output
+        assert "gpt2-paper" in output
+
+    def test_serve_command(self, capsys):
+        code = main([
+            "serve", "--model", "gpt2-m", "--backend", "ianus",
+            "--policy", "interleaved", "--trace", "chatbot",
+            "--rate", "2.0", "--requests", "4", "--no-disk-cache",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "throughput" in output
+        assert "TTFT" in output
+        assert "pass-cost cache" in output
+
+    def test_serve_writes_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main([
+            "serve", "--model", "gpt2-m", "--backend", "a100",
+            "--policy", "fcfs", "--trace", "summarize", "--load", "0.5",
+            "--requests", "3", "--per-request", "--no-disk-cache",
+            "--json", str(path),
+        ])
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert document["policy"] == "fcfs"
+        assert len(document["per_request"]) == 3
+        assert "nominal capacity" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["serve", "--requests", "0", "--no-disk-cache"], "--requests"),
+            (["serve", "--rate", "-1", "--no-disk-cache"], "--rate"),
+            (["serve", "--load", "0", "--no-disk-cache"], "--load"),
+            (["serve", "--max-batch", "0", "--no-disk-cache"], "--max-batch"),
+            (["serve", "--batch-share", "1.5", "--no-disk-cache"], "--batch-share"),
+            (["serve", "--trace", "nope", "--no-disk-cache"], "unknown trace"),
+            (["serve", "--model", "nope", "--no-disk-cache"], "unknown model"),
+            (
+                ["serve", "--model", "bert-base", "--trace", "chatbot",
+                 "--rate", "2.0", "--requests", "2", "--no-disk-cache"],
+                "not a decoder",
+            ),
+        ],
+    )
+    def test_serve_rejects_invalid_arguments(self, argv, message, capsys):
+        assert main(argv) == 2
+        assert message in capsys.readouterr().err
