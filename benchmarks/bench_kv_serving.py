@@ -1,0 +1,53 @@
+"""Perf-regression smoke benchmark for memory-aware serving.
+
+Times the PR 4 ``serving`` sweep (GPT-2 XL: offered load x backend x
+policy x prefill chunking x KV budget, 64 cells in fast mode) through the
+serial runner, and asserts the sweep's headline properties so a perf
+regression can never hide a correctness one:
+
+* throughput-latency curves stay monotone in offered load;
+* interleaved continuous batching dominates FCFS at the highest load;
+* SRPT mean latency never exceeds FCFS;
+* the priority policy keeps class-0 SLO attainment at least as high as the
+  class-blind policy;
+* a quarter KV budget never beats the full budget (memory pressure can
+  only throttle);
+* every cell's event log passes the scheduling-invariant checks (the
+  sweep doubles as a cheap oracle for the scheduler's contract).
+
+Run with::
+
+    pytest benchmarks/bench_kv_serving.py --benchmark-only -q
+
+Set ``REPRO_BENCH_REPORT=/path/to/BENCH_kv_serving.json`` to also persist
+the per-experiment timing report for diffing against a previous run
+(``BENCH_kv_serving_pr4.json`` is the PR 4 reference).
+"""
+
+import os
+
+from repro.perf import run_many, write_report
+
+
+def test_kv_serving_sweep_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_many,
+        args=(("serving",),),
+        kwargs={"fast": True, "jobs": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(t.ok for t in outcome.report.timings)
+    result = outcome.results["serving"]
+    assert result.data["monotone"]
+    assert result.data["dominates"]
+    assert result.data["srpt_wins"]
+    assert result.data["priority_protects"]
+    assert result.data["kv_pressure"]
+    assert result.data["valid"]
+    report_path = os.environ.get("REPRO_BENCH_REPORT")
+    if report_path:
+        write_report(outcome.report, report_path)
+    print()
+    print(outcome.report.to_text())
+    print(outcome.report.cache_summary())

@@ -14,9 +14,13 @@ Three sub-commands cover the common workflows without writing any Python:
 
 ``python -m repro serve``
     Simulate request-level serving: a seeded Poisson trace of concurrent
-    requests against one backend under a scheduling policy (FCFS vs
-    interleaved continuous batching), reporting TTFT / TPOT / latency
-    percentiles / tokens/s / utilization plus pass-cost cache statistics.
+    requests against one backend under a scheduling policy (FCFS,
+    interleaved continuous batching, SRPT, or priority classes), with
+    paged-KV admission control against the backend's memory capacity and
+    optional chunked prefill.  Reports TTFT / TPOT / latency percentiles /
+    tokens/s / utilization / KV-pool peak / SLO attainment plus pass-cost
+    cache statistics.  ``--validate`` replays the event log through the
+    scheduling-invariant checker and exits nonzero on any violation.
 
 ``python -m repro list``
     List the available models, backends, experiments, sweep grids (with
@@ -46,6 +50,7 @@ from repro.core.costmodel import BACKEND_NAMES as BACKENDS
 from repro.core.costmodel import make_cost_model as _make_backend
 from repro.models import ALL_MODELS, Workload, get_model
 from repro.models.workload import Stage, StagePass
+from repro.serving.simulator import POLICIES as SERVING_POLICIES
 
 __all__ = ["main", "build_parser"]
 
@@ -113,13 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", default="ianus", choices=BACKENDS)
     serve.add_argument("--devices", type=int, default=1,
                        help="number of IANUS devices (simulator backends only)")
-    serve.add_argument("--policy", choices=("fcfs", "interleaved"),
+    serve.add_argument("--policy", choices=tuple(SERVING_POLICIES),
                        default="interleaved")
     serve.add_argument("--trace", default="gpt2-paper",
                        help="trace generator name (see `repro list`)")
     serve.add_argument("--requests", type=int, default=32,
                        help="number of requests in the trace")
     serve.add_argument("--seed", type=int, default=0, help="trace seed")
+    serve.add_argument("--classes", type=int, default=1,
+                       help="priority classes assigned uniformly by the "
+                            "trace generator (default 1 = single class)")
+    serve.add_argument("--slo", metavar="S0[,S1,...]", default=None,
+                       help="comma-separated per-class latency SLO targets "
+                            "in seconds (enables SLO-attainment metrics)")
     rate_group = serve.add_mutually_exclusive_group()
     rate_group.add_argument("--rate", type=float, default=None,
                             help="Poisson arrival rate in requests/s")
@@ -134,6 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-share", type=float, default=1.0,
                        help="fraction of the decode cost floor shared across "
                             "a fused batch (default 1.0)")
+    serve.add_argument("--kv-fraction", type=float, default=1.0,
+                       help="fraction of the backend's weight-free memory "
+                            "granted to the paged-KV pool (default 1.0)")
+    serve.add_argument("--page-tokens", type=int, default=16,
+                       help="tokens per KV page (default 16)")
+    serve.add_argument("--chunk-tokens", type=int, default=0,
+                       help="prefill chunk size in tokens; chunks piggyback "
+                            "decode tokens (default 0 = whole-prompt prefill)")
+    serve.add_argument("--validate", action="store_true",
+                       help="replay the event log through the scheduling-"
+                            "invariant checker; exit nonzero on violation")
     serve.add_argument("--per-request", action="store_true",
                        help="also print one line per completed request")
     serve.add_argument("--json", metavar="PATH", default=None,
@@ -245,7 +267,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro.perf import flush_disk_caches, install_disk_caches
-    from repro.serving import ServingSimulator, get_trace_generator, mean_service_time_s
+    from repro.serving import (
+        ServingSimulator,
+        check_invariants,
+        get_trace_generator,
+        mean_service_time_s,
+    )
 
     try:
         model = get_model(args.model)
@@ -267,6 +294,28 @@ def _run_serve(args: argparse.Namespace) -> int:
     if not 0.0 <= args.batch_share <= 1.0:
         print("--batch-share must be in [0, 1]", file=sys.stderr)
         return 2
+    if not 0.0 < args.kv_fraction <= 1.0:
+        print("--kv-fraction must be in (0, 1]", file=sys.stderr)
+        return 2
+    if args.page_tokens < 1:
+        print("--page-tokens must be at least 1", file=sys.stderr)
+        return 2
+    if args.chunk_tokens < 0:
+        print("--chunk-tokens must be non-negative", file=sys.stderr)
+        return 2
+    if args.classes < 1:
+        print("--classes must be at least 1", file=sys.stderr)
+        return 2
+    slo_targets = None
+    if args.slo is not None:
+        try:
+            slo_targets = tuple(float(part) for part in args.slo.split(","))
+        except ValueError:
+            slo_targets = ()
+        if not slo_targets or any(target <= 0 for target in slo_targets):
+            print("--slo must be comma-separated positive seconds",
+                  file=sys.stderr)
+            return 2
     try:
         generator = get_trace_generator(args.trace)
     except KeyError as error:
@@ -286,17 +335,23 @@ def _run_serve(args: argparse.Namespace) -> int:
             rate_rps = args.load / service_s
             print(f"nominal capacity : {1.0 / service_s:.3f} requests/s "
                   f"-> load {args.load} = {rate_rps:.3f} requests/s")
-        trace = generator.generate(args.requests, rate_rps, seed=args.seed)
-        simulator = ServingSimulator(
-            backend, model,
-            policy=args.policy,
-            max_batch=args.max_batch,
-            exact=args.exact,
-            batch_share=args.batch_share,
+        trace = generator.generate(
+            args.requests, rate_rps, seed=args.seed, num_classes=args.classes
         )
         try:
-            metrics = simulator.simulate(trace)
-        except ValueError as error:  # e.g. decoding trace on an encoder model
+            simulator = ServingSimulator(
+                backend, model,
+                policy=args.policy,
+                max_batch=args.max_batch,
+                exact=args.exact,
+                batch_share=args.batch_share,
+                kv_fraction=args.kv_fraction,
+                page_tokens=args.page_tokens,
+                chunk_tokens=args.chunk_tokens,
+                slo_targets=slo_targets,
+            )
+            metrics = simulator.simulate(trace, record_events=args.validate)
+        except ValueError as error:  # e.g. encoder trace, model too large
             print(str(error), file=sys.stderr)
             return 2
     finally:
@@ -311,6 +366,15 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"pass-cost cache : {stats.get('hits', 0)} hits / "
               f"{stats.get('misses', 0)} misses "
               f"({stats.get('hit_rate', 0.0):.0%} hit rate)")
+    violations: list[str] = []
+    if args.validate:
+        violations = check_invariants(simulator.events, trace)
+        if violations:
+            print(f"INVARIANT VIOLATIONS ({len(violations)}):", file=sys.stderr)
+            for violation in violations:
+                print(f"  - {violation}", file=sys.stderr)
+        else:
+            print(f"invariants      : OK ({len(simulator.events)} events checked)")
     if args.per_request:
         print()
         print(f"{'id':>4} {'arrival':>9} {'TTFT':>9} {'latency':>9} {'TPOT':>8}  (in,out)")
@@ -328,7 +392,9 @@ def _run_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         print(f"serving metrics written to {args.json}")
-    return 0
+    # Violations exit nonzero, but only after the metrics report (and any
+    # --json file a CI script wants for diagnosis) has been emitted.
+    return 1 if violations else 0
 
 
 def _run_list() -> int:

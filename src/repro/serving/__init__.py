@@ -5,43 +5,62 @@ a time.  This package turns the same per-pass cost models into a
 *multi-user serving* study: a stream of timed requests shares one device,
 and a discrete-event simulator schedules their prefill/decode passes under
 a pluggable policy, reporting the metrics LLM-serving work cares about
-(TTFT, TPOT, latency percentiles, tokens/s, device utilization).
+(TTFT, TPOT, latency percentiles, tokens/s, device utilization, SLO
+attainment).
 
 Layering — who knows what:
 
 :mod:`repro.serving.request`
-    :class:`Request` (arrival time + token counts) and the per-request
-    :class:`RequestMetrics`.  Knows nothing about backends.
+    :class:`Request` (arrival time + token counts + priority class) and the
+    per-request :class:`RequestMetrics`.  Knows nothing about backends.
 :mod:`repro.serving.trace`
     Deterministic seeded Poisson trace generators over named workload mixes
     (:data:`~repro.serving.trace.TRACES`).  Knows nothing about backends.
+:mod:`repro.serving.kv_memory`
+    :class:`KvPageAccountant`: paged KV-cache accounting against the bytes
+    a backend's memory system holds beyond the model weights.  Reads only
+    capacity attributes off a cost model.
 :mod:`repro.serving.simulator`
     :class:`ServingSimulator`: schedules token-granularity passes whose
     costs come from *any* :class:`repro.core.costmodel.CostModel` (IANUS,
-    NPU-MEM, A100, DFX), with FCFS run-to-completion and interleaved
-    continuous-batching policies.  The only layer that touches cost models,
-    and only through the protocol.
+    NPU-MEM, A100, DFX), with memory-aware admission, optional chunked
+    prefill, and FCFS / interleaved / SRPT / priority-class policies.  The
+    only layer that touches cost models, and only through the protocol.
+:mod:`repro.serving.validate`
+    :func:`check_invariants`: replays a recorded event log against the
+    trace and reports scheduling-invariant violations (``repro serve
+    --validate`` and the invariant test suite use it as an oracle).
 
 The ``serving`` experiment (:mod:`repro.experiments.serving_throughput`)
-sweeps offered load x backend x policy as a shardable
-:class:`~repro.experiments.base.Sweep`, and ``repro serve`` exposes a
-single simulation from the command line.
+sweeps offered load x backend x policy x chunking x KV budget as a
+shardable :class:`~repro.experiments.base.Sweep`, and ``repro serve``
+exposes a single simulation from the command line.
 """
 
+from repro.serving.kv_memory import (
+    DEFAULT_KV_BUDGET_BYTES,
+    DEFAULT_PAGE_TOKENS,
+    KvPageAccountant,
+    backend_memory_capacity_bytes,
+    kv_budget_bytes,
+)
 from repro.serving.request import Request, RequestMetrics
 from repro.serving.simulator import (
     POLICIES,
     FcfsPolicy,
     InterleavedPolicy,
     PassCostProvider,
+    PriorityPolicy,
     ServingMetrics,
     ServingPolicy,
     ServingSimulator,
+    SrptPolicy,
     make_policy,
     mean_service_time_s,
     percentile,
 )
 from repro.serving.trace import TRACES, TraceGenerator, get_trace_generator
+from repro.serving.validate import SimEvent, check_invariants
 
 __all__ = [
     "Request",
@@ -49,14 +68,23 @@ __all__ = [
     "TraceGenerator",
     "TRACES",
     "get_trace_generator",
+    "DEFAULT_KV_BUDGET_BYTES",
+    "DEFAULT_PAGE_TOKENS",
+    "KvPageAccountant",
+    "backend_memory_capacity_bytes",
+    "kv_budget_bytes",
     "PassCostProvider",
     "ServingPolicy",
     "FcfsPolicy",
     "InterleavedPolicy",
+    "SrptPolicy",
+    "PriorityPolicy",
     "POLICIES",
     "make_policy",
     "ServingMetrics",
     "ServingSimulator",
     "mean_service_time_s",
     "percentile",
+    "SimEvent",
+    "check_invariants",
 ]

@@ -1,0 +1,204 @@
+"""Paged KV-cache memory accounting for the serving simulator.
+
+The paper's central constraint is the memory system: model weights and the
+KV cache of every in-flight request share the same capacity (the unified
+PIM/NPU memory on IANUS, HBM on the A100/DFX baselines).  PR 3's serving
+simulator ignored that — admission was a fixed ``max_batch`` head count —
+so its load curves said nothing about the regime the design targets.
+
+This module supplies the missing accounting, vLLM-style:
+
+* the KV cache is allocated in fixed-size **pages** of ``page_tokens``
+  tokens each (a page holds the K and V vectors of every block for those
+  tokens, i.e. ``page_tokens * model.num_blocks *
+  model.kv_bytes_per_token_per_block`` bytes);
+* the page pool's byte **budget** is derived from the backend itself:
+  whatever the backend's memory system holds beyond the model weights,
+  scaled by a ``fraction`` knob so experiments can sweep memory pressure
+  without inventing hardware (:func:`kv_budget_bytes`);
+* admission **commits** a request's worst-case page count (its full
+  ``input + output`` tokens) up front and releases it at completion.
+  Committing the maximum is deliberately conservative: it is deadlock-free
+  by construction (an admitted request can always grow to its last token),
+  which is what makes the scheduler's *no over-subscription at any event
+  time* invariant checkable — and cheap to check — in
+  :mod:`repro.serving.validate`.
+
+Backends expose their capacity differently, so the derivation dispatches on
+what the cost model's ``config`` carries: the simulator backends
+(:class:`~repro.core.system.IanusSystem` and its NPU-MEM variant) expose
+``npu_visible_capacity_bytes`` (per device, so it scales with
+``num_devices``); the analytical baselines expose ``memory_capacity_bytes``
+(the A100's 80 GiB, DFX's aggregate HBM).  Cost models exposing neither —
+test doubles, future backends — fall back to a fixed
+:data:`DEFAULT_KV_BUDGET_BYTES` budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import GiB
+from repro.core.costmodel import CostModel
+from repro.models.transformer import ModelConfig
+
+__all__ = [
+    "DEFAULT_PAGE_TOKENS",
+    "DEFAULT_KV_BUDGET_BYTES",
+    "backend_memory_capacity_bytes",
+    "kv_budget_bytes",
+    "KvPageAccountant",
+]
+
+#: Tokens per KV page (vLLM's default block size).
+DEFAULT_PAGE_TOKENS = 16
+
+#: Fixed-budget fallback for cost models that expose no memory capacity.
+DEFAULT_KV_BUDGET_BYTES = 16 * GiB
+
+
+def backend_memory_capacity_bytes(cost_model: CostModel) -> "int | None":
+    """Total model-visible memory of a backend, or ``None`` if unknown.
+
+    Simulator backends report the NPU-visible slice of the PIM memory
+    (times the device count); analytical baselines report their HBM
+    capacity.  ``None`` means the caller should fall back to
+    :data:`DEFAULT_KV_BUDGET_BYTES`.
+    """
+    config = getattr(cost_model, "config", None)
+    if config is None:
+        return None
+    capacity = getattr(config, "npu_visible_capacity_bytes", None)
+    if capacity is not None:
+        return int(capacity) * int(getattr(cost_model, "num_devices", 1))
+    capacity = getattr(config, "memory_capacity_bytes", None)
+    if capacity is not None:
+        return int(capacity)
+    return None
+
+
+def kv_budget_bytes(
+    cost_model: CostModel, model: ModelConfig, fraction: float = 1.0
+) -> int:
+    """Bytes of the backend's memory available to the KV page pool.
+
+    The budget is ``fraction`` of whatever the backend's capacity holds
+    beyond the model weights.  ``fraction`` sweeps memory pressure: 1.0
+    grants the whole remainder, smaller values model co-tenancy or smaller
+    memory parts without touching the latency model.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    capacity = backend_memory_capacity_bytes(cost_model)
+    if capacity is None:
+        free = DEFAULT_KV_BUDGET_BYTES
+    else:
+        free = capacity - model.param_bytes
+        if free <= 0:
+            raise ValueError(
+                f"{model.name} weights ({model.param_bytes / GiB:.2f} GiB) do "
+                f"not fit the {cost_model.name} memory system "
+                f"({capacity / GiB:.2f} GiB); no room for any KV cache"
+            )
+    return int(free * fraction)
+
+
+@dataclass
+class KvPageAccountant:
+    """Tracks committed KV pages of the in-flight requests against a budget.
+
+    ``reserve``/``release`` bracket a request's lifetime; ``can_reserve``
+    is the admission test.  Reserving more pages than the pool holds raises
+    — the scheduler must never over-subscribe, and the accountant enforcing
+    it here is what the invariant suite leans on.
+    """
+
+    budget_bytes: int
+    token_bytes: int
+    page_tokens: int = DEFAULT_PAGE_TOKENS
+    _reserved: dict[int, int] = field(default_factory=dict, repr=False)
+    #: High-water mark of committed pages over the accountant's lifetime.
+    peak_reserved_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        if self.token_bytes <= 0:
+            raise ValueError("token_bytes must be positive")
+        if self.page_tokens < 1:
+            raise ValueError("page_tokens must be at least 1")
+        if self.total_pages < 1:
+            raise ValueError(
+                f"KV budget of {self.budget_bytes} bytes is smaller than one "
+                f"{self.page_tokens}-token page ({self.page_bytes} bytes)"
+            )
+
+    @classmethod
+    def for_backend(
+        cls,
+        cost_model: CostModel,
+        model: ModelConfig,
+        fraction: float = 1.0,
+        page_tokens: int = DEFAULT_PAGE_TOKENS,
+        budget_bytes: "int | None" = None,
+    ) -> "KvPageAccountant":
+        """Accountant sized from a backend's memory system (or an override)."""
+        budget = (
+            budget_bytes
+            if budget_bytes is not None
+            else kv_budget_bytes(cost_model, model, fraction)
+        )
+        token_bytes = model.num_blocks * model.kv_bytes_per_token_per_block
+        return cls(
+            budget_bytes=budget, token_bytes=token_bytes, page_tokens=page_tokens
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def page_bytes(self) -> int:
+        return self.page_tokens * self.token_bytes
+
+    @property
+    def total_pages(self) -> int:
+        return self.budget_bytes // self.page_bytes
+
+    @property
+    def reserved_pages(self) -> int:
+        return sum(self._reserved.values())
+
+    @property
+    def free_pages(self) -> int:
+        return self.total_pages - self.reserved_pages
+
+    def pages_for(self, tokens: int) -> int:
+        """Pages needed to hold ``tokens`` tokens of KV cache (ceiling)."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        return -(-tokens // self.page_tokens)
+
+    def fits_alone(self, tokens: int) -> bool:
+        """Whether a request of ``tokens`` tokens can ever be served."""
+        return self.pages_for(tokens) <= self.total_pages
+
+    def can_reserve(self, tokens: int) -> bool:
+        return self.pages_for(tokens) <= self.free_pages
+
+    def reserve(self, request_id: int, tokens: int) -> int:
+        """Commit the pages of one request; returns the page count."""
+        if request_id in self._reserved:
+            raise ValueError(f"request {request_id} already holds a reservation")
+        pages = self.pages_for(tokens)
+        if pages > self.free_pages:
+            raise ValueError(
+                f"KV over-subscription: request {request_id} needs {pages} "
+                f"pages but only {self.free_pages} of {self.total_pages} are free"
+            )
+        self._reserved[request_id] = pages
+        if self.reserved_pages > self.peak_reserved_pages:
+            self.peak_reserved_pages = self.reserved_pages
+        return pages
+
+    def release(self, request_id: int) -> None:
+        if request_id not in self._reserved:
+            raise ValueError(f"request {request_id} holds no reservation")
+        del self._reserved[request_id]

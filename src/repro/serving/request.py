@@ -12,6 +12,11 @@ completes: the three timestamps every serving study cares about (arrival,
 first token, completion) plus the token counts, from which the standard
 derived metrics follow — TTFT (time to first token), TPOT (time per output
 token after the first) and end-to-end latency.
+
+Requests carry a ``priority_class`` (0 = most important) for the
+class-aware schedulers, and completed metrics carry the latency SLO target
+the simulator assigned to that class (``slo_s``; 0 means no target), from
+which per-class SLO attainment is aggregated.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ class Request:
     arrival_s: float
     input_tokens: int
     output_tokens: int = 1
+    #: Scheduling class, 0 = most important (priority-class policies).
+    priority_class: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -39,6 +46,8 @@ class Request:
             raise ValueError("input_tokens must be positive")
         if self.output_tokens < 1:
             raise ValueError("output_tokens must be at least 1")
+        if self.priority_class < 0:
+            raise ValueError("priority_class must be non-negative")
 
     # ------------------------------------------------------------------
     @property
@@ -68,6 +77,10 @@ class RequestMetrics:
     completion_s: float
     input_tokens: int
     output_tokens: int
+    #: Scheduling class of the request (0 = most important).
+    priority_class: int = 0
+    #: Latency SLO target assigned by the simulator; 0 means no target.
+    slo_s: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -87,6 +100,13 @@ class RequestMetrics:
             return 0.0
         return (self.completion_s - self.first_token_s) / (self.output_tokens - 1)
 
+    @property
+    def slo_met(self) -> "bool | None":
+        """Whether the latency SLO was met (``None`` when no target was set)."""
+        if self.slo_s <= 0.0:
+            return None
+        return self.latency_s <= self.slo_s
+
     def to_dict(self) -> dict:
         """JSON-stable representation (used by reports and determinism tests)."""
         return {
@@ -96,6 +116,9 @@ class RequestMetrics:
             "completion_s": self.completion_s,
             "input_tokens": self.input_tokens,
             "output_tokens": self.output_tokens,
+            "priority_class": self.priority_class,
+            "slo_s": self.slo_s,
+            "slo_met": self.slo_met,
             "ttft_s": self.ttft_s,
             "latency_s": self.latency_s,
             "tpot_s": self.tpot_s,

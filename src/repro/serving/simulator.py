@@ -4,10 +4,34 @@
 :class:`~repro.serving.request.Request` objects against one device whose
 per-pass costs come from any :class:`~repro.core.costmodel.CostModel` — the
 IANUS simulator, the NPU-MEM variant, or the A100/DFX analytical baselines.
-Time advances at *pass* granularity (one prefill pass or one decode
-iteration at a time), which is exactly the scheduling granularity of
-iteration-level serving systems (Orca, vLLM): between any two passes the
-scheduler may admit new arrivals or change the decode batch.
+Time advances at *pass* granularity (one prefill pass or chunk, or one
+fused decode iteration at a time), which is exactly the scheduling
+granularity of iteration-level serving systems (Orca, vLLM): between any
+two passes the scheduler may admit new arrivals or change the decode batch.
+
+Memory-aware admission
+----------------------
+Admission is governed by the backend's *memory system*, not a head count: a
+:class:`~repro.serving.kv_memory.KvPageAccountant` commits each request's
+worst-case KV pages (its full ``input + output`` tokens) against the bytes
+the backend holds beyond the model weights, scaled by ``kv_fraction``.  A
+request is admitted only when both the policy's concurrency gate and the
+page pool agree; pages are released at completion.  Committed-maximum
+paging is deadlock-free by construction and makes the *no over-subscription
+at any event time* invariant checkable (:mod:`repro.serving.validate`).
+
+Chunked prefill
+---------------
+With ``chunk_tokens > 0`` a prompt is prefilled in scheduler-visible chunks
+instead of one head-of-line-blocking pass.  Chunk ``i`` is priced at the
+*incremental* cost ``C(prefix + chunk) - C(prefix)``
+(:func:`~repro.core.costmodel.diff_pass_cost`), so chunk costs telescope to
+the monolithic prefill cost — a chunk size >= the prompt is a byte-identical
+no-op, and chunking conserves both tokens and total prefill work.  Each
+chunk iteration is *fused* with one decode token for the policy's decode
+batch (Sarathi-style piggybacking): the chunk already streams every FC
+weight, so the decode members ride along paying only their KV-dependent
+marginal, and decodes no longer starve behind long prompts.
 
 Scheduling policies
 -------------------
@@ -16,9 +40,16 @@ Scheduling policies
     order; an arrival behind a long generation waits for the whole request.
 :class:`InterleavedPolicy`
     Continuous batching: up to ``max_batch`` requests are in flight; new
-    arrivals are prefilled as soon as a slot is free (prefill priority, one
-    prefill per iteration), and all in-flight requests advance one token per
-    fused decode iteration.
+    arrivals are prefilled as soon as a slot (and KV pages) free up, and all
+    in-flight requests advance one token per fused decode iteration.
+:class:`SrptPolicy`
+    Shortest-remaining-processing-time continuous batching: admission,
+    prefill order and the decode batch all prefer the request with the
+    fewest remaining tokens, which minimizes mean latency.
+:class:`PriorityPolicy`
+    Priority-class continuous batching: class 0 is admitted, prefilled and
+    decoded before class 1, and so on; pair with per-class ``slo_targets``
+    to measure SLO attainment under overload.
 
 Batched-decode cost model
 -------------------------
@@ -34,12 +65,14 @@ shared.  With ``c(kv)`` the single-request decode cost and ``base = c(1)``
 
 i.e. the shared floor is paid once and every request pays its KV-dependent
 marginal, floored at the slowest member (a fused pass cannot beat its
-largest request).  ``share`` (default 1.0) scales how much of the floor is
-shareable; ``share=0`` recovers fully serial decoding.  A batch of one is by
-construction *exactly* the single-request pass cost, which is what makes a
-one-request trace reproduce ``IanusSystem.run(mode="exact")`` latency.
-Energy follows the same sharing (shared weight reads are shared DRAM
-energy); FLOPs sum fully — batching shares bytes, not math.
+largest request).  When a prefill chunk carries the iteration, the chunk
+pays the weights and *all* ``B`` decode floors are shareable.  ``share``
+(default 1.0) scales how much of the floor is shareable; ``share=0``
+recovers fully serial decoding.  A batch of one is by construction
+*exactly* the single-request pass cost, which is what makes a one-request
+trace reproduce ``IanusSystem.run(mode="exact")`` latency.  Energy follows
+the same sharing (shared weight reads are shared DRAM energy); FLOPs sum
+fully — batching shares bytes, not math.
 
 Pass-cost provider
 ------------------
@@ -56,21 +89,26 @@ thousands.  Every anchor evaluation routes through the backend's shared
 from __future__ import annotations
 
 import bisect
+import inspect
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.costmodel import CostModel, PassCost, lerp_pass_cost
+from repro.core.costmodel import CostModel, PassCost, diff_pass_cost, lerp_pass_cost
 from repro.energy.model import EnergyBreakdown
 from repro.models.transformer import ModelConfig
 from repro.models.workload import Stage, StagePass
+from repro.serving.kv_memory import DEFAULT_PAGE_TOKENS, KvPageAccountant
 from repro.serving.request import Request, RequestMetrics
+from repro.serving.validate import SimEvent
 
 __all__ = [
     "PassCostProvider",
     "ServingPolicy",
     "FcfsPolicy",
     "InterleavedPolicy",
+    "SrptPolicy",
+    "PriorityPolicy",
     "POLICIES",
     "make_policy",
     "ServingMetrics",
@@ -160,6 +198,23 @@ class PassCostProvider:
             )
             self._prefill_costs[input_tokens] = cost
         return cost
+
+    def prefill_chunk(self, prefix_tokens: int, chunk_tokens: int) -> PassCost:
+        """Incremental cost of prefilling ``chunk_tokens`` after a prefix.
+
+        Priced as ``C(prefix + chunk) - C(prefix)`` so a request's chunk
+        costs telescope to its monolithic prefill cost exactly (and a chunk
+        covering the whole prompt *is* the monolithic pass).
+        """
+        if chunk_tokens < 1:
+            raise ValueError("chunk_tokens must be at least 1")
+        if prefix_tokens < 0:
+            raise ValueError("prefix_tokens must be non-negative")
+        if prefix_tokens == 0:
+            return self.prefill(chunk_tokens)
+        return diff_pass_cost(
+            self.prefill(prefix_tokens + chunk_tokens), self.prefill(prefix_tokens)
+        )
 
     def decode(self, kv_length: int) -> PassCost:
         """Cost of one single-request decode pass at ``kv_length``."""
@@ -253,13 +308,45 @@ def mean_service_time_s(
 # ----------------------------------------------------------------------
 # Scheduling policies
 # ----------------------------------------------------------------------
+@dataclass
+class _InFlight:
+    """Mutable in-flight request state (internal to the simulator)."""
+
+    request: Request
+    prefilled: int = 0
+    generated: int = 0
+    first_token_s: float = 0.0
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.prefilled >= self.request.input_tokens
+
+    @property
+    def done(self) -> bool:
+        return self.prefill_done and self.generated >= self.request.output_tokens
+
+    @property
+    def next_kv_length(self) -> int:
+        """KV length of this request's next decode pass."""
+        return self.request.input_tokens + self.generated
+
+    @property
+    def remaining_tokens(self) -> int:
+        """Prompt tokens still to prefill plus output tokens still to emit."""
+        return (self.request.input_tokens - self.prefilled) + (
+            self.request.output_tokens - self.generated
+        )
+
+
 class ServingPolicy:
     """Decides what the device executes between two passes.
 
-    ``admit`` answers whether the head of the waiting queue may be prefilled
-    now; ``decode_batch`` picks the in-flight requests that advance one
-    token in the next decode iteration.  Policies never reorder the waiting
-    queue — admission is always in arrival order.
+    ``admit`` gates concurrency (the KV page pool independently gates
+    memory); ``admit_index`` picks which waiting request is admitted next;
+    ``prefill_index`` picks which admitted-but-unprefilled request runs its
+    next chunk; ``decode_batch`` picks the fully-prefilled requests that
+    advance one token in the next decode iteration.  The base class admits
+    and prefills in arrival order.
     """
 
     name = "policy"
@@ -267,7 +354,13 @@ class ServingPolicy:
     def admit(self, active_count: int) -> bool:
         raise NotImplementedError
 
-    def decode_batch(self, active: "Sequence[_InFlight]") -> "list[_InFlight]":
+    def admit_index(self, waiting: "Sequence[Request]") -> int:
+        return 0
+
+    def prefill_index(self, prefilling: "Sequence[_InFlight]") -> int:
+        return 0
+
+    def decode_batch(self, decodable: "Sequence[_InFlight]") -> "list[_InFlight]":
         raise NotImplementedError
 
 
@@ -279,14 +372,12 @@ class FcfsPolicy(ServingPolicy):
     def admit(self, active_count: int) -> bool:
         return active_count == 0
 
-    def decode_batch(self, active):
-        return list(active[:1])
+    def decode_batch(self, decodable):
+        return list(decodable[:1])
 
 
-class InterleavedPolicy(ServingPolicy):
-    """Iteration-level continuous batching with prefill priority."""
-
-    name = "interleaved"
+class _BatchedPolicy(ServingPolicy):
+    """Shared concurrency gate of the continuous-batching policies."""
 
     def __init__(self, max_batch: int = 8) -> None:
         if max_batch < 1:
@@ -296,43 +387,118 @@ class InterleavedPolicy(ServingPolicy):
     def admit(self, active_count: int) -> bool:
         return active_count < self.max_batch
 
-    def decode_batch(self, active):
-        return list(active[: self.max_batch])
+
+class InterleavedPolicy(_BatchedPolicy):
+    """Iteration-level continuous batching with prefill priority."""
+
+    name = "interleaved"
+
+    def decode_batch(self, decodable):
+        return list(decodable[: self.max_batch])
 
 
-POLICIES = {"fcfs": FcfsPolicy, "interleaved": InterleavedPolicy}
+class SrptPolicy(_BatchedPolicy):
+    """Shortest-remaining-processing-time continuous batching.
+
+    Admission, prefill order and the decode batch all prefer the request
+    with the fewest remaining tokens (ties broken by queue position, so the
+    order is deterministic).  Remaining tokens are the service-demand proxy
+    the cost models support: every token costs roughly one pass slot.
+    """
+
+    name = "srpt"
+
+    def admit_index(self, waiting):
+        return min(
+            range(len(waiting)), key=lambda i: (waiting[i].total_tokens, i)
+        )
+
+    def prefill_index(self, prefilling):
+        return min(
+            range(len(prefilling)),
+            key=lambda i: (prefilling[i].remaining_tokens, i),
+        )
+
+    def decode_batch(self, decodable):
+        order = sorted(
+            range(len(decodable)),
+            key=lambda i: (decodable[i].remaining_tokens, i),
+        )
+        return [decodable[i] for i in order[: self.max_batch]]
 
 
-def make_policy(name: str, max_batch: int = 8) -> ServingPolicy:
-    """Instantiate a scheduling policy by name."""
-    if name == "fcfs":
-        return FcfsPolicy()
-    if name == "interleaved":
-        return InterleavedPolicy(max_batch=max_batch)
-    raise ValueError(f"unknown policy {name!r}; known: {', '.join(POLICIES)}")
+class PriorityPolicy(_BatchedPolicy):
+    """Priority-class continuous batching (class 0 first, then arrival order).
+
+    Strict priority at every decision point: admission, prefill order and
+    the decode batch serve the lowest class first.  Pair with the
+    simulator's per-class ``slo_targets`` to measure SLO attainment — under
+    overload, class 0 keeps its attainment at the expense of class 1.
+    """
+
+    name = "priority"
+
+    def admit_index(self, waiting):
+        return min(
+            range(len(waiting)), key=lambda i: (waiting[i].priority_class, i)
+        )
+
+    def prefill_index(self, prefilling):
+        return min(
+            range(len(prefilling)),
+            key=lambda i: (prefilling[i].request.priority_class, i),
+        )
+
+    def decode_batch(self, decodable):
+        order = sorted(
+            range(len(decodable)),
+            key=lambda i: (decodable[i].request.priority_class, i),
+        )
+        return [decodable[i] for i in order[: self.max_batch]]
+
+
+#: Policy registry: CLI/experiment name -> class, in presentation order.
+POLICIES: dict[str, type[ServingPolicy]] = {
+    "fcfs": FcfsPolicy,
+    "interleaved": InterleavedPolicy,
+    "srpt": SrptPolicy,
+    "priority": PriorityPolicy,
+}
+
+
+def _policy_parameters(cls: type[ServingPolicy]) -> set[str]:
+    return {
+        name
+        for name, param in inspect.signature(cls.__init__).parameters.items()
+        if name != "self"
+        and param.kind in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY)
+    }
+
+
+def make_policy(name: str, **kwargs) -> ServingPolicy:
+    """Instantiate a scheduling policy by name — the single validation point.
+
+    Unknown names raise with the list of known policies; keyword arguments
+    the named policy does not accept raise instead of being silently
+    dropped (e.g. ``max_batch`` on FCFS, which is unbatched by definition).
+    """
+    cls = POLICIES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown policy {name!r}; known: {', '.join(POLICIES)}")
+    allowed = _policy_parameters(cls)
+    unexpected = sorted(set(kwargs) - allowed)
+    if unexpected:
+        accepted = ", ".join(sorted(allowed)) if allowed else "none"
+        raise ValueError(
+            f"policy {name!r} does not accept {', '.join(unexpected)} "
+            f"(accepted keyword(s): {accepted})"
+        )
+    return cls(**kwargs)
 
 
 # ----------------------------------------------------------------------
 # Simulator
 # ----------------------------------------------------------------------
-@dataclass
-class _InFlight:
-    """Mutable in-flight request state (internal to the simulator)."""
-
-    request: Request
-    generated: int = 0
-    first_token_s: float = 0.0
-
-    @property
-    def done(self) -> bool:
-        return self.generated >= self.request.output_tokens
-
-    @property
-    def next_kv_length(self) -> int:
-        """KV length of this request's next decode pass."""
-        return self.request.input_tokens + self.generated
-
-
 @dataclass(frozen=True)
 class ServingMetrics:
     """Aggregate metrics of one simulated trace (plus per-request detail)."""
@@ -359,6 +525,13 @@ class ServingMetrics:
     prefill_passes: int
     decode_passes: int
     mean_decode_batch: float
+    chunk_tokens: int = 0
+    kv_page_tokens: int = DEFAULT_PAGE_TOKENS
+    kv_pages_total: int = 0
+    kv_peak_pages: int = 0
+    kv_budget_bytes: int = 0
+    slo_attainment: "float | None" = None
+    slo_by_class: dict = field(default_factory=dict)
     per_request: tuple[RequestMetrics, ...] = field(default_factory=tuple)
 
     def to_dict(self, include_requests: bool = True) -> dict:
@@ -386,37 +559,65 @@ class ServingMetrics:
             "prefill_passes": self.prefill_passes,
             "decode_passes": self.decode_passes,
             "mean_decode_batch": self.mean_decode_batch,
+            "chunk_tokens": self.chunk_tokens,
+            "kv_page_tokens": self.kv_page_tokens,
+            "kv_pages_total": self.kv_pages_total,
+            "kv_peak_pages": self.kv_peak_pages,
+            "kv_budget_bytes": self.kv_budget_bytes,
+            "slo_attainment": self.slo_attainment,
+            "slo_by_class": self.slo_by_class,
         }
         if include_requests:
             data["per_request"] = [metrics.to_dict() for metrics in self.per_request]
         return data
 
+    @property
+    def kv_peak_fraction(self) -> float:
+        """Peak committed fraction of the KV page pool."""
+        if self.kv_pages_total <= 0:
+            return 0.0
+        return self.kv_peak_pages / self.kv_pages_total
+
     def summary(self) -> str:
         """Multi-line human-readable summary (``repro serve`` prints this)."""
-        return "\n".join(
-            [
-                f"backend         : {self.backend}",
-                f"model           : {self.model}",
-                f"policy          : {self.policy}",
-                f"requests        : {self.num_requests} "
-                f"({self.output_tokens} output tokens)",
-                f"makespan        : {self.makespan_s:.3f} s "
-                f"(device busy {self.busy_s:.3f} s, {self.utilization:.0%} utilized)",
-                f"throughput      : {self.tokens_per_s:.1f} tokens/s, "
-                f"{self.requests_per_s:.2f} requests/s",
-                f"latency         : mean {self.latency_mean_s * 1e3:.1f} ms, "
-                f"p50 {self.latency_p50_s * 1e3:.1f} ms, "
-                f"p99 {self.latency_p99_s * 1e3:.1f} ms",
-                f"TTFT            : mean {self.ttft_mean_s * 1e3:.1f} ms, "
-                f"p50 {self.ttft_p50_s * 1e3:.1f} ms, "
-                f"p99 {self.ttft_p99_s * 1e3:.1f} ms",
-                f"TPOT            : mean {self.tpot_mean_s * 1e3:.3f} ms/token",
-                f"passes          : {self.prefill_passes} prefill, "
-                f"{self.decode_passes} decode "
-                f"(mean batch {self.mean_decode_batch:.2f})",
-                f"dynamic energy  : {self.energy_j * 1e3:.1f} mJ",
-            ]
-        )
+        lines = [
+            f"backend         : {self.backend}",
+            f"model           : {self.model}",
+            f"policy          : {self.policy}"
+            + (f" (chunked prefill, {self.chunk_tokens} tokens)"
+               if self.chunk_tokens else ""),
+            f"requests        : {self.num_requests} "
+            f"({self.output_tokens} output tokens)",
+            f"makespan        : {self.makespan_s:.3f} s "
+            f"(device busy {self.busy_s:.3f} s, {self.utilization:.0%} utilized)",
+            f"throughput      : {self.tokens_per_s:.1f} tokens/s, "
+            f"{self.requests_per_s:.2f} requests/s",
+            f"latency         : mean {self.latency_mean_s * 1e3:.1f} ms, "
+            f"p50 {self.latency_p50_s * 1e3:.1f} ms, "
+            f"p99 {self.latency_p99_s * 1e3:.1f} ms",
+            f"TTFT            : mean {self.ttft_mean_s * 1e3:.1f} ms, "
+            f"p50 {self.ttft_p50_s * 1e3:.1f} ms, "
+            f"p99 {self.ttft_p99_s * 1e3:.1f} ms",
+            f"TPOT            : mean {self.tpot_mean_s * 1e3:.3f} ms/token",
+            f"passes          : {self.prefill_passes} prefill, "
+            f"{self.decode_passes} decode "
+            f"(mean batch {self.mean_decode_batch:.2f})",
+            f"KV memory       : {self.kv_peak_pages}/{self.kv_pages_total} "
+            f"pages peak ({self.kv_peak_fraction:.0%} of "
+            f"{self.kv_budget_bytes / 2**30:.2f} GiB, "
+            f"{self.kv_page_tokens} tokens/page)",
+            f"dynamic energy  : {self.energy_j * 1e3:.1f} mJ",
+        ]
+        if self.slo_attainment is not None:
+            by_class = ", ".join(
+                f"class {cls}: {attained:.0%}"
+                for cls, attained in self.slo_by_class.items()
+            )
+            lines.append(
+                f"SLO attainment  : {self.slo_attainment:.0%}"
+                + (f" ({by_class})" if by_class else "")
+            )
+        return "\n".join(lines)
 
 
 class ServingSimulator:
@@ -430,15 +631,28 @@ class ServingSimulator:
         The served model; must be a decoder when any request generates more
         than one token.
     policy:
-        ``"fcfs"``, ``"interleaved"``, or a :class:`ServingPolicy` instance.
+        A name in :data:`POLICIES` (``"fcfs"``, ``"interleaved"``,
+        ``"srpt"``, ``"priority"``) or a :class:`ServingPolicy` instance.
     max_batch:
-        Decode-batch cap of the interleaved policy.
+        Decode-batch cap of the batching policies (ignored by FCFS).
     exact:
         Price every decode KV length exactly instead of interpolating over
         ``kv_samples`` anchors (see :class:`PassCostProvider`).
     batch_share:
         Fraction of the decode cost floor shared across a fused batch (see
         the module docstring); 1.0 models fully shared weight streaming.
+    kv_fraction:
+        Fraction of the backend's weight-free memory granted to the KV page
+        pool (admission control; see :mod:`repro.serving.kv_memory`).
+    page_tokens:
+        Tokens per KV page.
+    kv_budget:
+        Explicit KV pool size in bytes, overriding the backend derivation.
+    chunk_tokens:
+        Prefill chunk size in tokens; 0 (default) prefills whole prompts.
+    slo_targets:
+        Optional per-class latency SLO targets in seconds (class ``i`` gets
+        ``slo_targets[min(i, len - 1)]``); enables SLO-attainment metrics.
     """
 
     def __init__(
@@ -450,23 +664,66 @@ class ServingSimulator:
         exact: bool = False,
         kv_samples: int = DEFAULT_KV_SAMPLES,
         batch_share: float = 1.0,
+        kv_fraction: float = 1.0,
+        page_tokens: int = DEFAULT_PAGE_TOKENS,
+        kv_budget: "int | None" = None,
+        chunk_tokens: int = 0,
+        slo_targets: "Sequence[float] | None" = None,
     ) -> None:
         if not 0.0 <= batch_share <= 1.0:
             raise ValueError("batch_share must be in [0, 1]")
+        if chunk_tokens < 0:
+            raise ValueError("chunk_tokens must be non-negative (0 = unchunked)")
+        if slo_targets is not None:
+            slo_targets = tuple(float(target) for target in slo_targets)
+            if not slo_targets or any(target <= 0 for target in slo_targets):
+                raise ValueError("slo_targets must be positive latencies")
         self.cost_model = cost_model
         self.model = model
-        self.policy = make_policy(policy, max_batch) if isinstance(policy, str) else policy
+        if isinstance(policy, str):
+            cls = POLICIES.get(policy)
+            kwargs = (
+                {"max_batch": max_batch}
+                if cls is not None and "max_batch" in _policy_parameters(cls)
+                else {}
+            )
+            self.policy = make_policy(policy, **kwargs)
+        else:
+            self.policy = policy
         self.batch_share = batch_share
+        self.chunk_tokens = chunk_tokens
+        self.slo_targets = slo_targets
+        self.kv_fraction = kv_fraction
+        self.page_tokens = page_tokens
+        self.kv_budget = kv_budget
         self.provider = PassCostProvider(
             cost_model, model, exact=exact, kv_samples=kv_samples
         )
+        # Validate the KV pool configuration eagerly (budget, page size).
+        self._new_accountant()
+        #: Event log of the last ``simulate(record_events=True)`` run.
+        self.events: "list[SimEvent] | None" = None
+
+    def _new_accountant(self) -> KvPageAccountant:
+        return KvPageAccountant.for_backend(
+            self.cost_model,
+            self.model,
+            fraction=self.kv_fraction,
+            page_tokens=self.page_tokens,
+            budget_bytes=self.kv_budget,
+        )
 
     # ------------------------------------------------------------------
-    def simulate(self, requests: Sequence[Request]) -> ServingMetrics:
+    def simulate(
+        self, requests: Sequence[Request], record_events: bool = False
+    ) -> ServingMetrics:
         """Play a trace to completion and return its metrics."""
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        kv = self._new_accountant()
+        events: "list[SimEvent] | None" = [] if record_events else None
+        self.events = events
         if not ordered:
-            return self._finalize([], 0.0, 0.0, EnergyBreakdown.zero(), 0.0, 0, 0, 0)
+            return self._finalize([], 0.0, 0.0, EnergyBreakdown.zero(), 0.0, 0, 0, 0, kv)
         if not self.model.is_decoder and any(r.output_tokens > 1 for r in ordered):
             raise ValueError(
                 f"{self.model.name} is not a decoder; serving traces for it "
@@ -477,7 +734,7 @@ class ServingSimulator:
             self.provider.prepare(*kv_bounds)
 
         pending = deque(ordered)
-        waiting: deque[Request] = deque()
+        waiting: list[Request] = []
         active: list[_InFlight] = []
         completed: list[RequestMetrics] = []
         clock = 0.0
@@ -488,53 +745,135 @@ class ServingSimulator:
         decode_passes = 0
         decode_tokens = 0
 
+        def emit(kind: str, latency: float = 0.0, request_id: "int | None" = None,
+                 tokens: int = 0, decode_ids: tuple = ()) -> None:
+            if events is not None:
+                events.append(
+                    SimEvent(
+                        kind=kind,
+                        clock_s=clock,
+                        latency_s=latency,
+                        request_id=request_id,
+                        tokens=tokens,
+                        decode_ids=decode_ids,
+                        active=len(active),
+                        waiting=len(waiting),
+                        kv_reserved_pages=kv.reserved_pages,
+                        kv_total_pages=kv.total_pages,
+                    )
+                )
+
         while pending or waiting or active:
             while pending and pending[0].arrival_s <= clock:
                 waiting.append(pending.popleft())
             if not waiting and not active:
                 clock = pending[0].arrival_s
+                emit("idle")
                 continue
 
-            if waiting and self.policy.admit(len(active)):
-                request = waiting.popleft()
-                cost = self.provider.prefill(request.input_tokens)
-                clock += cost.latency_s
-                busy += cost.latency_s
-                energy = energy + cost.energy
-                flops += cost.flops
-                prefill_passes += 1
-                flight = _InFlight(request, generated=1, first_token_s=clock)
-                if flight.done:
-                    completed.append(self._completed(flight, clock))
-                else:
-                    active.append(flight)
-                continue
+            # Admission is instantaneous: commit KV pages and make the
+            # request scheduler-visible.  Both gates must agree — the
+            # policy's concurrency cap and the page pool.  KV blocking is
+            # head-of-line on the policy's own admission order (no
+            # smaller-request bypass), which keeps admission starvation-free
+            # under every policy.
+            while waiting and self.policy.admit(len(active)):
+                index = self.policy.admit_index(waiting)
+                request = waiting[index]
+                if not kv.fits_alone(request.total_tokens):
+                    raise ValueError(
+                        f"request {request.request_id} needs "
+                        f"{kv.pages_for(request.total_tokens)} KV pages but the "
+                        f"pool holds {kv.total_pages}; it can never be served "
+                        f"(raise kv_fraction or the budget)"
+                    )
+                if not kv.can_reserve(request.total_tokens):
+                    break
+                pages = kv.reserve(request.request_id, request.total_tokens)
+                waiting.pop(index)
+                active.append(_InFlight(request))
+                emit("admit", request_id=request.request_id, tokens=pages)
 
-            batch = self.policy.decode_batch(active)
-            costs = [self.provider.decode(flight.next_kv_length) for flight in batch]
-            latency, pass_energy, pass_flops = self._fused_decode(costs)
+            if not active:
+                raise RuntimeError(
+                    f"policy {self.policy.name!r} left the device idle with "
+                    f"{len(waiting)} admissible request(s) waiting"
+                )  # pragma: no cover - defensive, no shipped policy does this
+
+            prefilling = [flight for flight in active if not flight.prefill_done]
+            decodable = [flight for flight in active if flight.prefill_done]
+            flight: "_InFlight | None" = None
+            carrier: "PassCost | None" = None
+            chunk = 0
+            batch: list[_InFlight] = []
+            if prefilling:
+                flight = prefilling[self.policy.prefill_index(prefilling)]
+                remaining = flight.request.input_tokens - flight.prefilled
+                chunk = (
+                    remaining
+                    if self.chunk_tokens == 0
+                    else min(self.chunk_tokens, remaining)
+                )
+                carrier = self.provider.prefill_chunk(flight.prefilled, chunk)
+                # A chunked iteration piggybacks one decode token per batch
+                # member on the chunk's weight streaming (Sarathi-style);
+                # monolithic prefills keep the pass pure.
+                if self.chunk_tokens and decodable:
+                    batch = self.policy.decode_batch(decodable)
+            else:
+                batch = self.policy.decode_batch(decodable)
+
+            costs = [self.provider.decode(f.next_kv_length) for f in batch]
+            latency, pass_energy, pass_flops = self._fused_iteration(carrier, costs)
             clock += latency
             busy += latency
             energy = energy + pass_energy
             flops += pass_flops
-            decode_passes += 1
-            decode_tokens += len(batch)
-            for flight in batch:
-                flight.generated += 1
-                if flight.done:
-                    active.remove(flight)
-                    completed.append(self._completed(flight, clock))
+            if carrier is not None:
+                prefill_passes += 1
+            if batch:
+                decode_passes += 1
+                decode_tokens += len(batch)
+            emit(
+                "step",
+                latency=latency,
+                request_id=None if flight is None else flight.request.request_id,
+                tokens=chunk,
+                decode_ids=tuple(f.request.request_id for f in batch),
+            )
+
+            finished: list[_InFlight] = []
+            if flight is not None:
+                flight.prefilled += chunk
+                if flight.prefill_done:
+                    flight.generated = 1
+                    flight.first_token_s = clock
+                    if flight.done:
+                        finished.append(flight)
+            for f in batch:
+                f.generated += 1
+                if f.done:
+                    finished.append(f)
+            for f in finished:
+                active.remove(f)
+                kv.release(f.request.request_id)
+                completed.append(self._completed(f, clock))
+                emit("complete", request_id=f.request.request_id)
 
         completed.sort(key=lambda metrics: metrics.request_id)
         makespan = clock - ordered[0].arrival_s
         return self._finalize(
             completed, makespan, busy, energy, flops,
-            prefill_passes, decode_passes, decode_tokens,
+            prefill_passes, decode_passes, decode_tokens, kv,
         )
 
     # ------------------------------------------------------------------
     def _completed(self, flight: _InFlight, completion_s: float) -> RequestMetrics:
         request = flight.request
+        slo_s = 0.0
+        if self.slo_targets:
+            index = min(request.priority_class, len(self.slo_targets) - 1)
+            slo_s = self.slo_targets[index]
         return RequestMetrics(
             request_id=request.request_id,
             arrival_s=request.arrival_s,
@@ -542,33 +881,55 @@ class ServingSimulator:
             completion_s=completion_s,
             input_tokens=request.input_tokens,
             output_tokens=request.output_tokens,
+            priority_class=request.priority_class,
+            slo_s=slo_s,
         )
 
     def _fused_decode(
         self, costs: "list[PassCost]"
     ) -> "tuple[float, EnergyBreakdown, float]":
-        """Latency, energy and FLOPs of one fused decode iteration."""
-        if len(costs) == 1:
+        """Latency, energy and FLOPs of one pure fused decode iteration."""
+        return self._fused_iteration(None, costs)
+
+    def _fused_iteration(
+        self, carrier: "PassCost | None", costs: "list[PassCost]"
+    ) -> "tuple[float, EnergyBreakdown, float]":
+        """One device iteration: an optional prefill chunk fused with decodes.
+
+        Without a carrier the first decode member pays the shared floor and
+        the other ``B - 1`` ride along; with a carrier (a prefill chunk,
+        which streams every FC weight anyway) all ``B`` decode floors are
+        shareable.  Latency is floored at the slowest member — a fused pass
+        cannot beat its largest constituent.
+        """
+        if carrier is None and len(costs) == 1:
             only = costs[0]
             return only.latency_s, only.energy, only.flops
+        if carrier is not None and not costs:
+            return carrier.latency_s, carrier.energy, carrier.flops
         base = self.provider.base()
-        shared = self.batch_share * (len(costs) - 1)
-        latency = sum(cost.latency_s for cost in costs) - shared * base.latency_s
-        latency = max(latency, max(cost.latency_s for cost in costs))
+        if carrier is None:
+            parts = costs
+            shared = self.batch_share * (len(costs) - 1)
+        else:
+            parts = [carrier, *costs]
+            shared = self.batch_share * len(costs)
+        latency = sum(cost.latency_s for cost in parts) - shared * base.latency_s
+        latency = max(latency, max(cost.latency_s for cost in parts))
         energy = EnergyBreakdown(
             normal_memory_j=self._shared_component(
-                [c.energy.normal_memory_j for c in costs],
+                [c.energy.normal_memory_j for c in parts],
                 shared * base.energy.normal_memory_j,
             ),
             pim_op_j=self._shared_component(
-                [c.energy.pim_op_j for c in costs], shared * base.energy.pim_op_j
+                [c.energy.pim_op_j for c in parts], shared * base.energy.pim_op_j
             ),
             npu_cores_j=self._shared_component(
-                [c.energy.npu_cores_j for c in costs],
+                [c.energy.npu_cores_j for c in parts],
                 shared * base.energy.npu_cores_j,
             ),
         )
-        flops = sum(cost.flops for cost in costs)  # batching shares bytes, not math
+        flops = sum(cost.flops for cost in parts)  # batching shares bytes, not math
         return latency, energy, flops
 
     @staticmethod
@@ -585,12 +946,32 @@ class ServingSimulator:
         prefill_passes: int,
         decode_passes: int,
         decode_tokens: int,
+        kv: KvPageAccountant,
     ) -> ServingMetrics:
         latencies = [metrics.latency_s for metrics in completed]
         ttfts = [metrics.ttft_s for metrics in completed]
         tpots = [metrics.tpot_s for metrics in completed if metrics.output_tokens > 1]
         output_tokens = sum(metrics.output_tokens for metrics in completed)
         mean = lambda values: sum(values) / len(values) if values else 0.0  # noqa: E731
+        slo_attainment: "float | None" = None
+        slo_by_class: dict[str, float] = {}
+        if self.slo_targets is not None:
+            scored = [metrics for metrics in completed if metrics.slo_s > 0.0]
+            if scored:
+                slo_attainment = mean([1.0 if m.slo_met else 0.0 for m in scored])
+                classes = sorted({metrics.priority_class for metrics in scored})
+                slo_by_class = {
+                    str(cls): mean(
+                        [
+                            1.0 if m.slo_met else 0.0
+                            for m in scored
+                            if m.priority_class == cls
+                        ]
+                    )
+                    for cls in classes
+                }
+            else:
+                slo_attainment = 1.0
         return ServingMetrics(
             backend=self.cost_model.name,
             model=self.model.name,
@@ -614,5 +995,12 @@ class ServingSimulator:
             prefill_passes=prefill_passes,
             decode_passes=decode_passes,
             mean_decode_batch=decode_tokens / decode_passes if decode_passes else 0.0,
+            chunk_tokens=self.chunk_tokens,
+            kv_page_tokens=kv.page_tokens,
+            kv_pages_total=kv.total_pages,
+            kv_peak_pages=kv.peak_reserved_pages,
+            kv_budget_bytes=kv.budget_bytes,
+            slo_attainment=slo_attainment,
+            slo_by_class=slo_by_class,
             per_request=tuple(completed),
         )

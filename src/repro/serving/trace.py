@@ -57,13 +57,26 @@ class TraceGenerator:
         rate_rps: float,
         seed: int = 0,
         start_s: float = 0.0,
+        num_classes: int = 1,
     ) -> tuple[Request, ...]:
-        """A trace of ``num_requests`` Poisson arrivals at ``rate_rps``."""
+        """A trace of ``num_requests`` Poisson arrivals at ``rate_rps``.
+
+        ``num_classes`` > 1 additionally assigns each request a uniform
+        priority class in ``[0, num_classes)``.  Classes are drawn from a
+        *separate* RNG stream (seeded ``f"{name}/{seed}/classes"``), so the
+        arrival pattern and workload-mix sequence of a (name, seed) pair
+        are identical whether or not classes are requested.
+        """
         if num_requests < 0:
             raise ValueError("num_requests must be non-negative")
         if rate_rps <= 0:
             raise ValueError("rate_rps must be positive")
+        if num_classes < 1:
+            raise ValueError("num_classes must be at least 1")
         rng = random.Random(f"{self.name}/{seed}")
+        class_rng = (
+            random.Random(f"{self.name}/{seed}/classes") if num_classes > 1 else None
+        )
         requests = []
         clock = start_s
         for request_id in range(num_requests):
@@ -77,6 +90,9 @@ class TraceGenerator:
                     arrival_s=clock,
                     input_tokens=workload.input_tokens,
                     output_tokens=workload.output_tokens,
+                    priority_class=(
+                        class_rng.randrange(num_classes) if class_rng else 0
+                    ),
                 )
             )
         return tuple(requests)

@@ -1,0 +1,218 @@
+"""Scheduling-invariant checks over the serving simulator's event log.
+
+The simulator can record a :class:`SimEvent` per scheduling decision
+(``simulate(..., record_events=True)``).  :func:`check_invariants` replays
+that log against the trace and returns a list of human-readable violation
+strings — empty when the run was sound.  ``repro serve --validate`` exits
+nonzero on violations, so benches and CI can use the checker as a cheap
+oracle next to any serving experiment.
+
+The invariants checked (the scheduler's contract):
+
+no KV over-subscription
+    At every event, committed KV pages never exceed the pool
+    (``kv_reserved_pages <= kv_total_pages``).
+work conservation
+    The device never idles while an admitted request has a runnable pass:
+    an ``idle`` clock jump is only legal when nothing is in flight, and
+    every ``step`` must start exactly where the previous event left the
+    clock whenever work was in flight.
+token conservation
+    Per request, prefill chunk tokens sum to exactly the prompt length,
+    and decode steps number exactly ``output_tokens - 1`` (the final
+    prefill chunk yields the first output token) — and no request decodes
+    before its prefill completed.
+completion
+    Every request of the trace is admitted once, completed once, and the
+    completed count equals the trace length.
+monotone time
+    Event clocks never move backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serving.request import Request
+
+__all__ = ["SimEvent", "check_invariants"]
+
+#: Relative slack for floating-point clock comparisons.
+_CLOCK_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One scheduling event of a simulated trace.
+
+    Kinds
+    -----
+    ``idle``
+        The device had nothing admitted and jumped the clock to the next
+        arrival.  ``latency_s`` is 0; legal only with nothing in flight.
+    ``admit``
+        A request was admitted: its worst-case KV pages were committed
+        (``tokens`` is the page count).  Instantaneous.
+    ``step``
+        One device iteration: a prefill chunk of ``request_id``
+        (``tokens`` chunk tokens; ``request_id`` is ``None`` for a pure
+        decode iteration) fused with one decode token for each request in
+        ``decode_ids``.  ``latency_s`` is the iteration's device time.
+    ``complete``
+        ``request_id`` finished and released its KV pages.  Instantaneous.
+
+    ``clock_s`` is the simulation time *after* the event; ``active`` and
+    ``waiting`` are the in-flight/queued request counts after it.
+    """
+
+    kind: str
+    clock_s: float
+    latency_s: float = 0.0
+    request_id: "int | None" = None
+    tokens: int = 0
+    decode_ids: tuple[int, ...] = ()
+    active: int = 0
+    waiting: int = 0
+    kv_reserved_pages: int = 0
+    kv_total_pages: int = 0
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _CLOCK_EPS * max(1.0, abs(a), abs(b))
+
+
+def check_invariants(
+    events: Sequence[SimEvent], requests: Sequence[Request]
+) -> list[str]:
+    """Check the scheduler's invariants; returns violations (empty = sound)."""
+    violations: list[str] = []
+    by_id = {request.request_id: request for request in requests}
+    if len(by_id) != len(requests):
+        violations.append("trace contains duplicate request ids")
+
+    admitted: set[int] = set()
+    completed: set[int] = set()
+    prefill_tokens: dict[int, int] = {}
+    decode_steps: dict[int, int] = {}
+    prev_clock = 0.0
+    prev_active = 0
+
+    for index, event in enumerate(events):
+        where = f"event {index} ({event.kind} @ {event.clock_s:.6f}s)"
+        if event.clock_s < prev_clock - _CLOCK_EPS:
+            violations.append(f"{where}: clock moved backwards from {prev_clock:.6f}s")
+        if event.kv_reserved_pages > event.kv_total_pages:
+            violations.append(
+                f"{where}: KV over-subscription — {event.kv_reserved_pages} "
+                f"pages committed of {event.kv_total_pages}"
+            )
+
+        if event.kind == "idle":
+            if prev_active > 0:
+                violations.append(
+                    f"{where}: device idled while {prev_active} admitted "
+                    "request(s) had runnable passes"
+                )
+        elif event.kind == "admit":
+            if not _close(event.clock_s, prev_clock):
+                violations.append(f"{where}: admission consumed device time")
+            if event.request_id in admitted:
+                violations.append(f"{where}: request {event.request_id} admitted twice")
+            elif event.request_id not in by_id:
+                violations.append(f"{where}: admitted unknown request {event.request_id}")
+            else:
+                admitted.add(event.request_id)
+                prefill_tokens[event.request_id] = 0
+                decode_steps[event.request_id] = 0
+        elif event.kind == "step":
+            if event.latency_s <= 0.0:
+                violations.append(f"{where}: step with non-positive latency")
+            if event.request_id is None and not event.decode_ids:
+                violations.append(f"{where}: step scheduled no work")
+            start = event.clock_s - event.latency_s
+            if prev_active > 0 and not _close(start, prev_clock):
+                violations.append(
+                    f"{where}: idle gap of {start - prev_clock:.9f}s while "
+                    f"{prev_active} request(s) were in flight"
+                )
+            if event.request_id is not None:
+                if event.request_id not in admitted:
+                    violations.append(
+                        f"{where}: prefilled request {event.request_id} "
+                        "before admission"
+                    )
+                elif event.tokens < 1:
+                    violations.append(f"{where}: prefill chunk of {event.tokens} tokens")
+                else:
+                    prefill_tokens[event.request_id] += event.tokens
+                    request = by_id.get(event.request_id)
+                    if (
+                        request is not None
+                        and prefill_tokens[event.request_id] > request.input_tokens
+                    ):
+                        violations.append(
+                            f"{where}: request {event.request_id} prefilled "
+                            f"{prefill_tokens[event.request_id]} tokens of a "
+                            f"{request.input_tokens}-token prompt"
+                        )
+            for decode_id in event.decode_ids:
+                if decode_id not in admitted:
+                    violations.append(
+                        f"{where}: decoded request {decode_id} before admission"
+                    )
+                    continue
+                request = by_id.get(decode_id)
+                if (
+                    request is not None
+                    and prefill_tokens.get(decode_id, 0) < request.input_tokens
+                ):
+                    violations.append(
+                        f"{where}: decoded request {decode_id} before its "
+                        "prefill completed"
+                    )
+                decode_steps[decode_id] = decode_steps.get(decode_id, 0) + 1
+            if event.request_id is not None and event.request_id in event.decode_ids:
+                violations.append(
+                    f"{where}: request {event.request_id} prefilled and "
+                    "decoded in the same step"
+                )
+        elif event.kind == "complete":
+            if not _close(event.clock_s, prev_clock):
+                violations.append(f"{where}: completion consumed device time")
+            if event.request_id in completed:
+                violations.append(f"{where}: request {event.request_id} completed twice")
+            elif event.request_id not in admitted:
+                violations.append(
+                    f"{where}: request {event.request_id} completed without admission"
+                )
+            else:
+                completed.add(event.request_id)
+        else:
+            violations.append(f"{where}: unknown event kind {event.kind!r}")
+
+        prev_clock = event.clock_s
+        prev_active = event.active
+
+    for request in requests:
+        rid = request.request_id
+        if rid not in completed:
+            violations.append(f"request {rid} never completed")
+            continue
+        if prefill_tokens.get(rid, 0) != request.input_tokens:
+            violations.append(
+                f"request {rid}: prefill chunks sum to "
+                f"{prefill_tokens.get(rid, 0)} tokens, prompt is "
+                f"{request.input_tokens}"
+            )
+        expected = request.output_tokens - 1
+        if decode_steps.get(rid, 0) != expected:
+            violations.append(
+                f"request {rid}: {decode_steps.get(rid, 0)} decode steps, "
+                f"expected {expected}"
+            )
+    if len(completed) != len(requests):
+        violations.append(
+            f"{len(completed)} requests completed, trace has {len(requests)}"
+        )
+    return violations

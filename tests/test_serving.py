@@ -218,12 +218,38 @@ class TestSimulatorInvariants:
         assert summary_only.num_requests == 1
 
     def test_policy_and_parameter_validation(self):
-        with pytest.raises(ValueError, match="unknown policy"):
-            make_policy("srpt")
+        # Unknown names raise with the full list of known policies.
+        with pytest.raises(ValueError, match="fcfs, interleaved, srpt, priority"):
+            make_policy("nope")
+        # Kwargs a policy does not take raise instead of being dropped.
+        with pytest.raises(ValueError, match="does not accept max_batch"):
+            make_policy("fcfs", max_batch=4)
+        with pytest.raises(ValueError, match="does not accept chunk"):
+            make_policy("srpt", chunk=8)
         with pytest.raises(ValueError, match="max_batch"):
             make_policy("interleaved", max_batch=0)
         with pytest.raises(ValueError, match="batch_share"):
             ServingSimulator(make_cost_model("ianus"), MODEL, batch_share=1.5)
+        with pytest.raises(ValueError, match="chunk_tokens"):
+            ServingSimulator(make_cost_model("ianus"), MODEL, chunk_tokens=-1)
+        with pytest.raises(ValueError, match="slo_targets"):
+            ServingSimulator(make_cost_model("ianus"), MODEL, slo_targets=(0.0,))
+
+    def test_every_registered_policy_constructs(self):
+        from repro.serving import POLICIES
+
+        assert list(POLICIES) == ["fcfs", "interleaved", "srpt", "priority"]
+        for name in POLICIES:
+            assert make_policy(name).name == name
+        # The batching policies accept the cap; the simulator forwards it
+        # only to them (FCFS is unbatched by definition).
+        for name in ("interleaved", "srpt", "priority"):
+            assert make_policy(name, max_batch=3).max_batch == 3
+        for name in POLICIES:
+            simulator = ServingSimulator(
+                make_cost_model("ianus"), MODEL, policy=name, max_batch=3
+            )
+            assert simulator.policy.name == name
 
 
 class TestFusedDecodeCostModel:
@@ -283,9 +309,19 @@ class TestServingExperiment:
         result = run_experiment("serving", fast=True)
         assert result.data["monotone"], "latency must be monotone in offered load"
         assert result.data["dominates"], "interleaved must dominate FCFS at high load"
-        # One row per cell, constant-width table.
-        assert len(result.rows) == 16
+        assert result.data["srpt_wins"], "SRPT mean latency must not exceed FCFS"
+        assert result.data["priority_protects"], (
+            "priority must keep class-0 attainment at least class-blind"
+        )
+        assert result.data["kv_pressure"], "a smaller KV budget must not win"
+        assert result.data["valid"], "every cell must pass the invariant checks"
+        # One row per cell of the 2 backends x 2 loads x 4 policies x
+        # 2 chunkings x 2 KV budgets grid, constant-width table.
+        assert len(result.rows) == 64
         assert all(len(row) == len(result.headers) for row in result.rows)
+        # The violation column is all zeros.
+        violations = result.column("viol")
+        assert set(violations) == {0}
 
     def test_serial_and_sharded_runs_agree(self):
         # Also covered by the PORTED loop in test_sweep.py; this pins the
