@@ -1,0 +1,65 @@
+"""Perf-regression smoke benchmark for cluster serving.
+
+Times the PR 5 ``cluster`` sweep (GPT-2 XL on replicated IANUS: replicas x
+router x admission x offered load on the heavy-tailed ``skewed`` trace at
+``kv_fraction=0.25``) through the serial runner, and asserts the sweep's
+headline properties so a perf regression can never hide a correctness one:
+
+* a one-replica cluster reproduces the single-device simulator byte for
+  byte, under every router and admission mode (the differential identity);
+* kv-aware routing beats round-robin at the stressed corner (p99 latency
+  and load imbalance, both admission modes);
+* optimistic admission admits at least as many requests as
+  worst-case-commit on every cell — and strictly more at the stressed
+  corner, with real preemptions recomputing real tokens;
+* every cell's event logs pass the extended scheduling-invariant checks
+  (exact page-ledger replay included) — the bench doubles as an oracle for
+  the growth/preemption machinery.
+
+Run with::
+
+    pytest benchmarks/bench_cluster.py --benchmark-only -q
+
+Set ``REPRO_BENCH_REPORT=/path/to/BENCH_cluster.json`` to also persist the
+per-experiment timing report — augmented with a ``cluster_claims`` section
+pinning the differential identity, the router comparison and the stressed
+admission numbers — for diffing against a previous run
+(``BENCH_cluster_pr5.json`` is the PR 5 reference).
+"""
+
+import json
+import os
+
+from repro.perf import run_many, write_report
+
+
+def test_cluster_sweep_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_many,
+        args=(("cluster",),),
+        kwargs={"fast": True, "jobs": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(t.ok for t in outcome.report.timings)
+    result = outcome.results["cluster"]
+    assert result.data["differential"]
+    assert result.data["kv_beats_rr"]
+    assert result.data["admits_at_least"]
+    assert result.data["admits_strictly_more"]
+    assert result.data["valid"]
+    report_path = os.environ.get("REPRO_BENCH_REPORT")
+    if report_path:
+        path = write_report(outcome.report, report_path)
+        document = json.loads(path.read_text())
+        document["cluster_claims"] = {
+            key: result.data[key]
+            for key in (
+                "differential", "kv_beats_rr", "admits_at_least",
+                "admits_strictly_more", "valid", "router_wins", "stressed",
+            )
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n")
+    print()
+    print(outcome.report.to_text())
+    print(outcome.report.cache_summary())

@@ -17,10 +17,15 @@ Three sub-commands cover the common workflows without writing any Python:
     requests against one backend under a scheduling policy (FCFS,
     interleaved continuous batching, SRPT, or priority classes), with
     paged-KV admission control against the backend's memory capacity and
-    optional chunked prefill.  Reports TTFT / TPOT / latency percentiles /
-    tokens/s / utilization / KV-pool peak / SLO attainment plus pass-cost
-    cache statistics.  ``--validate`` replays the event log through the
-    scheduling-invariant checker and exits nonzero on any violation.
+    optional chunked prefill.  ``--replicas N`` serves the trace on a
+    cluster of N identical replicas behind a request router
+    (``--router``); ``--admission optimistic`` (or its shorthand
+    ``--preempt``) commits only prompt pages and grows on demand with
+    preempt-and-recompute.  Reports TTFT / TPOT / latency percentiles /
+    tokens/s / utilization / KV-pool peak / preemption counts / SLO
+    attainment plus pass-cost cache statistics.  ``--validate`` replays
+    the event log(s) through the scheduling-invariant checker (with exact
+    page-ledger replay) and exits nonzero on any violation.
 
 ``python -m repro list``
     List the available models, backends, experiments, sweep grids (with
@@ -46,10 +51,13 @@ from typing import Sequence
 
 from repro.analysis.trace import render_gantt
 from repro.core import IanusSystem
+from repro.core.costmodel import ALL_BACKEND_NAMES
 from repro.core.costmodel import BACKEND_NAMES as BACKENDS
 from repro.core.costmodel import make_cost_model as _make_backend
 from repro.models import ALL_MODELS, Workload, get_model
 from repro.models.workload import Stage, StagePass
+from repro.serving.cluster import ROUTERS as SERVING_ROUTERS
+from repro.serving.simulator import ADMISSION_MODES
 from repro.serving.simulator import POLICIES as SERVING_POLICIES
 
 __all__ = ["main", "build_parser"]
@@ -75,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="simulate one inference request on one backend"
     )
     simulate.add_argument("--model", default="gpt2-xl", help="model name (see `repro list`)")
-    simulate.add_argument("--backend", default="ianus", choices=BACKENDS)
+    simulate.add_argument("--backend", default="ianus",
+                          help="backend name, e.g. ianus, a100, ianus-x4 "
+                               "(see `repro list`)")
     simulate.add_argument("--input-tokens", type=int, default=128)
     simulate.add_argument("--output-tokens", type=int, default=64)
     simulate.add_argument("--devices", type=int, default=1,
@@ -115,9 +125,27 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="simulate request-level serving of a trace on one backend"
     )
     serve.add_argument("--model", default="gpt2-xl", help="model name (see `repro list`)")
-    serve.add_argument("--backend", default="ianus", choices=BACKENDS)
+    serve.add_argument("--backend", default="ianus",
+                       help="per-replica backend name, e.g. ianus, a100, "
+                            "ianus-x4 (see `repro list`)")
     serve.add_argument("--devices", type=int, default=1,
                        help="number of IANUS devices (simulator backends only)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="number of identical replicas behind the router "
+                            "(default 1 = single device, no routing)")
+    serve.add_argument("--router", choices=tuple(SERVING_ROUTERS),
+                       default="round-robin",
+                       help="request router for --replicas > 1")
+    serve.add_argument("--admission", choices=ADMISSION_MODES, default=None,
+                       help="KV admission: commit worst-case pages up front "
+                            "(default) or grow optimistically with "
+                            "preemption")
+    serve.add_argument("--preempt", action="store_true",
+                       help="shorthand for --admission optimistic (on-demand "
+                            "KV growth with preempt-and-recompute)")
+    serve.add_argument("--no-preempt", action="store_true",
+                       help="with optimistic admission, stall instead of "
+                            "preempting when the KV pool is exhausted")
     serve.add_argument("--policy", choices=tuple(SERVING_POLICIES),
                        default="interleaved")
     serve.add_argument("--trace", default="gpt2-paper",
@@ -171,7 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_simulate(args: argparse.Namespace) -> int:
     model = get_model(args.model)
-    backend = _make_backend(args.backend, args.devices)
+    try:
+        backend = _make_backend(args.backend, args.devices)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     workload = Workload(args.input_tokens, args.output_tokens)
     result = backend.run(model, workload, mode=args.mode)
 
@@ -268,6 +300,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from repro.perf import flush_disk_caches, install_disk_caches
     from repro.serving import (
+        ClusterSimulator,
         ServingSimulator,
         check_invariants,
         get_trace_generator,
@@ -281,6 +314,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 2
     if args.requests < 1:
         print("--requests must be at least 1", file=sys.stderr)
+        return 2
+    if args.replicas < 1:
+        print("--replicas must be at least 1", file=sys.stderr)
         return 2
     if args.rate is not None and args.rate <= 0:
         print("--rate must be positive", file=sys.stderr)
@@ -322,35 +358,63 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(error.args[0], file=sys.stderr)
         return 2
 
+    if args.preempt and args.admission == "worst-case":
+        print("--preempt implies optimistic admission; it contradicts "
+              "--admission worst-case", file=sys.stderr)
+        return 2
+    if args.preempt and args.no_preempt:
+        print("--preempt and --no-preempt contradict each other",
+              file=sys.stderr)
+        return 2
+    admission = args.admission or (
+        "optimistic" if args.preempt else "worst-case"
+    )
     if not args.no_disk_cache:
         install_disk_caches(args.cache_dir)
     try:
-        backend = _make_backend(args.backend, args.devices)
+        try:
+            backend = _make_backend(args.backend, args.devices)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
         if args.rate is not None:
             rate_rps = args.rate
         else:
             service_s = mean_service_time_s(
                 backend, model, generator.workloads, exact=args.exact
             )
-            rate_rps = args.load / service_s
-            print(f"nominal capacity : {1.0 / service_s:.3f} requests/s "
+            rate_rps = args.replicas * args.load / service_s
+            print(f"nominal capacity : {args.replicas / service_s:.3f} requests/s "
+                  f"({args.replicas} replica(s)) "
                   f"-> load {args.load} = {rate_rps:.3f} requests/s")
         trace = generator.generate(
             args.requests, rate_rps, seed=args.seed, num_classes=args.classes
         )
+        simulator_kwargs = dict(
+            policy=args.policy,
+            max_batch=args.max_batch,
+            exact=args.exact,
+            batch_share=args.batch_share,
+            kv_fraction=args.kv_fraction,
+            page_tokens=args.page_tokens,
+            chunk_tokens=args.chunk_tokens,
+            slo_targets=slo_targets,
+            admission=admission,
+            preempt=not args.no_preempt,
+        )
+        cluster = None
         try:
-            simulator = ServingSimulator(
-                backend, model,
-                policy=args.policy,
-                max_batch=args.max_batch,
-                exact=args.exact,
-                batch_share=args.batch_share,
-                kv_fraction=args.kv_fraction,
-                page_tokens=args.page_tokens,
-                chunk_tokens=args.chunk_tokens,
-                slo_targets=slo_targets,
-            )
-            metrics = simulator.simulate(trace, record_events=args.validate)
+            if args.replicas > 1:
+                cluster = ClusterSimulator(
+                    backend, model,
+                    num_replicas=args.replicas,
+                    router=args.router,
+                    **simulator_kwargs,
+                )
+                metrics = cluster.simulate(trace, record_events=True)
+            else:
+                simulator = ServingSimulator(backend, model, **simulator_kwargs)
+                metrics = simulator.simulate(trace, record_events=args.validate)
         except ValueError as error:  # e.g. encoder trace, model too large
             print(str(error), file=sys.stderr)
             return 2
@@ -368,13 +432,21 @@ def _run_serve(args: argparse.Namespace) -> int:
               f"({stats.get('hit_rate', 0.0):.0%} hit rate)")
     violations: list[str] = []
     if args.validate:
-        violations = check_invariants(simulator.events, trace)
+        if cluster is not None:
+            violations = cluster.validate_invariants()
+            checked = sum(len(events) for events in cluster.events)
+        else:
+            violations = check_invariants(
+                simulator.events, trace,
+                page_tokens=args.page_tokens, admission=admission,
+            )
+            checked = len(simulator.events)
         if violations:
             print(f"INVARIANT VIOLATIONS ({len(violations)}):", file=sys.stderr)
             for violation in violations:
                 print(f"  - {violation}", file=sys.stderr)
         else:
-            print(f"invariants      : OK ({len(simulator.events)} events checked)")
+            print(f"invariants      : OK ({checked} events checked)")
     if args.per_request:
         print()
         print(f"{'id':>4} {'arrival':>9} {'TTFT':>9} {'latency':>9} {'TPOT':>8}  (in,out)")
@@ -406,8 +478,14 @@ def _run_list() -> int:
         print(f"  {key:<12} {model.describe()}")
     print()
     print("backends:")
-    for backend in BACKENDS:
-        print(f"  {backend}")
+    for backend in ALL_BACKEND_NAMES:
+        note = " (multi-device)" if backend not in BACKENDS else ""
+        print(f"  {backend}{note}")
+    print("  (<simulator backend>-xN works for any device count N)")
+    print()
+    print("routers (`repro serve --replicas N --router`):")
+    for router in SERVING_ROUTERS:
+        print(f"  {router}")
     print()
     print("experiments:")
     for identifier, (description, _) in EXPERIMENTS.items():

@@ -31,13 +31,15 @@ This module defines that vocabulary:
 
 :func:`make_cost_model`
     Backend factory by CLI name (``"ianus"``, ``"npu-mem"``,
-    ``"partitioned"``, ``"a100"``, ``"dfx"``), shared by the CLI, the
-    serving experiments and the tests so the name → instance mapping cannot
-    diverge.
+    ``"partitioned"``, ``"a100"``, ``"dfx"``, plus the multi-device
+    ``"ianus-xN"`` / ``"npu-mem-xN"`` / ``"partitioned-xN"`` spellings),
+    shared by the CLI, the serving experiments and the tests so the
+    name → instance mapping cannot diverge.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
@@ -51,6 +53,8 @@ __all__ = [
     "PassCost",
     "CostModel",
     "BACKEND_NAMES",
+    "MULTI_DEVICE_BACKEND_NAMES",
+    "ALL_BACKEND_NAMES",
     "make_cost_model",
     "lerp_pass_cost",
     "diff_pass_cost",
@@ -174,8 +178,19 @@ class CostModel(Protocol):
         ...  # pragma: no cover - protocol
 
 
-#: CLI names of every constructible backend, in presentation order.
+#: CLI names of every single-device backend, in presentation order.
 BACKEND_NAMES = ("ianus", "npu-mem", "partitioned", "a100", "dfx")
+
+#: The multi-device spellings ``repro list`` advertises (the paper's Sec. 7.1
+#: device counts).  ``make_cost_model`` accepts any ``-xN`` suffix with
+#: N >= 1 on the three simulator backends, not just these three counts.
+MULTI_DEVICE_BACKEND_NAMES = ("ianus-x2", "ianus-x4", "ianus-x8")
+
+#: Every advertised backend name, single- and multi-device.
+ALL_BACKEND_NAMES = BACKEND_NAMES + MULTI_DEVICE_BACKEND_NAMES
+
+#: ``<simulator backend>-xN`` — the multi-device name grammar.
+_MULTI_DEVICE_PATTERN = re.compile(r"^(ianus|npu-mem|partitioned)-x(\d+)$")
 
 
 def make_cost_model(name: str, num_devices: int = 1) -> CostModel:
@@ -184,6 +199,14 @@ def make_cost_model(name: str, num_devices: int = 1) -> CostModel:
     All instances share the process-wide pass-cost caches, so cost models
     built here are uniformly memoizable (and persistently so when
     :func:`repro.perf.cache.install_disk_caches` is active).
+
+    Multi-device clusters are spelled ``"<backend>-xN"`` (e.g.
+    ``"ianus-x4"``) for the simulator backends; ``"ianus-xN"`` and
+    ``"partitioned-xN"`` return a
+    :class:`~repro.core.multi_device.MultiIanusSystem`, which prices passes
+    with the same tensor-parallel latency model Fig. 17 / Fig. 18 use.
+    The ``num_devices`` argument is the equivalent positional spelling; the
+    two must agree when both are given.
     """
     from repro.baselines.dfx import DfxAppliance
     from repro.baselines.gpu import A100Gpu
@@ -191,6 +214,24 @@ def make_cost_model(name: str, num_devices: int = 1) -> CostModel:
     from repro.config import SystemConfig
     from repro.core.system import IanusSystem
 
+    match = _MULTI_DEVICE_PATTERN.match(name)
+    if match:
+        base, devices = match.group(1), int(match.group(2))
+        if devices < 1:
+            raise ValueError(f"backend {name!r} names a zero-device cluster")
+        if num_devices != 1 and num_devices != devices:
+            raise ValueError(
+                f"backend {name!r} names {devices} device(s) but "
+                f"num_devices={num_devices} was also given"
+            )
+        if base == "npu-mem":
+            return NpuMemSystem(num_devices=devices)
+        from repro.core.multi_device import MultiIanusSystem
+
+        config = (
+            SystemConfig.ianus() if base == "ianus" else SystemConfig.partitioned()
+        )
+        return MultiIanusSystem(config, devices)
     if name == "ianus":
         return IanusSystem(SystemConfig.ianus(), num_devices=num_devices)
     if name == "npu-mem":
@@ -201,4 +242,7 @@ def make_cost_model(name: str, num_devices: int = 1) -> CostModel:
         return A100Gpu()
     if name == "dfx":
         return DfxAppliance()
-    raise ValueError(f"unknown backend {name!r}; known: {', '.join(BACKEND_NAMES)}")
+    raise ValueError(
+        f"unknown backend {name!r}; known: {', '.join(ALL_BACKEND_NAMES)} "
+        f"(and <simulator backend>-xN for any device count N)"
+    )

@@ -11,17 +11,30 @@ block synchronisation points is what keeps the scaling sub-linear.
 The cost analysis of Sec. 7.2 uses TDP as the cost proxy:
 ``performance / TDP`` of a multi-device IANUS configuration is compared
 against the A100 GPU.
+
+:class:`MultiIanusSystem` also implements the
+:class:`~repro.core.costmodel.CostModel` protocol (``pass_cost`` /
+``cache_stats`` / ``name``), so a cluster replica in the serving layer is
+just ``make_cost_model("ianus-xN")`` plus a KV page accountant.  Per-pass
+costs delegate to the underlying tensor-parallel :class:`IanusSystem`
+simulation — the *same* pricing Fig. 17 / Fig. 18 integrate over whole
+workloads — and route through the shared process-wide pass-cost cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import SystemConfig
 from repro.core.results import InferenceResult
 from repro.core.system import IanusSystem
 from repro.models.transformer import ModelConfig
 from repro.models.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.costmodel import PassCost
+    from repro.models.workload import StagePass
 
 __all__ = ["MultiIanusSystem", "ScalingPoint", "devices_required"]
 
@@ -78,6 +91,17 @@ class MultiIanusSystem:
 
     def run(self, model: ModelConfig, workload: Workload, mode: str = "fast") -> InferenceResult:
         return self._system.run(model, workload, mode=mode)
+
+    # ------------------------------------------------------------------
+    # CostModel protocol (repro.core.costmodel)
+    # ------------------------------------------------------------------
+    def pass_cost(self, model: ModelConfig, stage_pass: "StagePass") -> "PassCost":
+        """One tensor-parallel pass, priced exactly as Fig. 17/18 price it."""
+        return self._system.pass_cost(model, stage_pass)
+
+    def cache_stats(self) -> dict:
+        """Counters of the shared pass-cost cache the cluster routes through."""
+        return self._system.cache_stats()
 
     # ------------------------------------------------------------------
     def cost_efficiency(self, model: ModelConfig, workload: Workload) -> float:

@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablations,
+    cluster_serving,
     cost_analysis,
     fig02_gpu_breakdown,
     fig08_gpt2_latency,
@@ -59,6 +60,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "serving": (
         "request-level serving: load sweep x backend x policy", serving_throughput.run
     ),
+    "cluster": (
+        "cluster serving: replicas x router x admission x load", cluster_serving.run
+    ),
     "cost": ("performance/TDP cost analysis", cost_analysis.run),
     "prototype": ("functional validation (FPGA-prototype stand-in)", prototype_validation.run),
     "ablation-overlap": ("scheduling overlap ablation", ablations.run_overlap_ablation),
@@ -83,6 +87,7 @@ SWEEPS: dict[str, Callable[..., Sweep]] = {
     "fig17": fig17_scalability.sweep,
     "fig18": fig18_strong_scaling.sweep,
     "serving": serving_throughput.sweep,
+    "cluster": cluster_serving.sweep,
     "ablation-overlap": ablations.overlap_sweep,
     "ablation-address-mapping": ablations.address_mapping_sweep,
     "ablation-fast-mode": ablations.fast_vs_exact_sweep,

@@ -37,6 +37,18 @@ shardable :class:`~repro.experiments.base.Sweep`, and ``repro serve``
 exposes a single simulation from the command line.
 """
 
+from repro.serving.cluster import (
+    ROUTERS,
+    ClusterMetrics,
+    ClusterSimulator,
+    KvAwareRouter,
+    LeastOutstandingTokensRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    Router,
+    cluster_kv_peak,
+    make_router,
+)
 from repro.serving.kv_memory import (
     DEFAULT_KV_BUDGET_BYTES,
     DEFAULT_PAGE_TOKENS,
@@ -46,6 +58,7 @@ from repro.serving.kv_memory import (
 )
 from repro.serving.request import Request, RequestMetrics
 from repro.serving.simulator import (
+    ADMISSION_MODES,
     POLICIES,
     FcfsPolicy,
     InterleavedPolicy,
@@ -54,6 +67,7 @@ from repro.serving.simulator import (
     ServingMetrics,
     ServingPolicy,
     ServingSimulator,
+    SimulationRun,
     SrptPolicy,
     make_policy,
     mean_service_time_s,
@@ -65,6 +79,18 @@ from repro.serving.validate import SimEvent, check_invariants
 __all__ = [
     "Request",
     "RequestMetrics",
+    "ClusterMetrics",
+    "ClusterSimulator",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingTokensRouter",
+    "KvAwareRouter",
+    "ReplicaSnapshot",
+    "ROUTERS",
+    "make_router",
+    "cluster_kv_peak",
+    "ADMISSION_MODES",
+    "SimulationRun",
     "TraceGenerator",
     "TRACES",
     "get_trace_generator",

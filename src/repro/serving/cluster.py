@@ -1,0 +1,566 @@
+"""Multi-replica cluster serving: request routing over replicated devices.
+
+One IANUS appliance (or GPU) is a *replica*: a cost model plus a KV page
+accountant, simulated by :class:`~repro.serving.simulator.ServingSimulator`.
+A :class:`ClusterSimulator` fans a single arrival trace out over ``R``
+replicas through a pluggable :class:`Router` and pools the per-replica
+metrics into one :class:`ClusterMetrics` — the serving-layer counterpart of
+the paper's Sec. 7.1 scale-out, but at *request* rather than tensor
+granularity (each replica may itself be a multi-device cluster via
+``make_cost_model("ianus-xN")``).
+
+Routing is **online and causal**: requests are routed one at a time in
+arrival order, and before each decision every replica is advanced to the
+arrival instant (:meth:`~repro.serving.simulator.SimulationRun.advance_until`),
+so the router sees exactly the state a real load balancer would — queue
+depths, outstanding tokens and free KV pages as of that moment, never the
+future.  Routers:
+
+``round-robin``
+    Ignore state, rotate.  The baseline every balancer is measured against.
+``least-outstanding-tokens``
+    Route to the replica with the fewest prompt+output tokens still to
+    compute (queued or in flight) — join-shortest-queue in token units.
+``kv-aware``
+    Route to the replica with the most free KV pages.  Free pages track
+    both load and *memory* pressure, which is what actually gates admission
+    under paged-KV serving; under skewed traces this keeps the heavy tail
+    from piling onto one replica's pool.
+
+A one-replica cluster reproduces the single-device simulator **byte for
+byte** under every router (all decisions collapse to replica 0, and the
+run prices passes over the same anchor grid), which is the differential
+test pinning this layer to PR 3/4's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.costmodel import CostModel
+from repro.models.transformer import ModelConfig
+from repro.serving.request import Request, RequestMetrics
+from repro.serving.simulator import (
+    ServingMetrics,
+    ServingSimulator,
+    SimulationRun,
+    _decode_kv_bounds,
+    _validated_construct,
+    percentile,
+)
+from repro.serving.validate import check_invariants
+
+__all__ = [
+    "ReplicaSnapshot",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingTokensRouter",
+    "KvAwareRouter",
+    "ROUTERS",
+    "make_router",
+    "ClusterMetrics",
+    "ClusterSimulator",
+    "cluster_kv_peak",
+]
+
+
+# ----------------------------------------------------------------------
+# Routers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """What a router may observe about one replica at an arrival instant."""
+
+    index: int
+    #: Requests routed here and not yet completed (queued or in flight).
+    outstanding_requests: int
+    #: Prompt + output tokens not yet computed across those requests.
+    outstanding_tokens: int
+    #: Uncommitted pages of the replica's KV pool right now.
+    free_kv_pages: int
+    total_kv_pages: int
+    #: Requests / total tokens ever routed to this replica.
+    routed_requests: int
+    routed_tokens: int
+
+
+class Router:
+    """Chooses the replica that serves the next arrival.
+
+    ``select`` sees one :class:`ReplicaSnapshot` per replica (index order)
+    plus the arriving request, and returns a replica index.  Routers may
+    keep internal state (round-robin does); ``reset`` is called at the
+    start of every cluster simulation so a reused
+    :class:`ClusterSimulator` stays deterministic run over run.
+    """
+
+    name = "router"
+
+    def reset(self) -> None:
+        """Drop any per-simulation state (no-op for stateless routers)."""
+
+    def select(
+        self, replicas: "Sequence[ReplicaSnapshot]", request: Request
+    ) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Rotate through replicas, blind to their state."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select(self, replicas, request):
+        choice = self._next % len(replicas)
+        self._next += 1
+        return choice
+
+
+class LeastOutstandingTokensRouter(Router):
+    """Join-shortest-queue in token units (ties: lowest replica index)."""
+
+    name = "least-outstanding-tokens"
+
+    def select(self, replicas, request):
+        return min(
+            replicas, key=lambda state: (state.outstanding_tokens, state.index)
+        ).index
+
+
+class KvAwareRouter(Router):
+    """Route to the replica with the most free KV pages (ties: lowest index)."""
+
+    name = "kv-aware"
+
+    def select(self, replicas, request):
+        return min(
+            replicas, key=lambda state: (-state.free_kv_pages, state.index)
+        ).index
+
+
+#: Router registry: CLI/experiment name -> class, in presentation order.
+ROUTERS: dict[str, type[Router]] = {
+    "round-robin": RoundRobinRouter,
+    "least-outstanding-tokens": LeastOutstandingTokensRouter,
+    "kv-aware": KvAwareRouter,
+}
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Instantiate a router by name — the single validation point.
+
+    Unknown names raise with the list of known routers; keyword arguments
+    the named router does not accept raise instead of being dropped (the
+    same validated construction path as
+    :func:`~repro.serving.simulator.make_policy`).
+    """
+    return _validated_construct("router", ROUTERS, name, kwargs)
+
+
+# ----------------------------------------------------------------------
+# Cluster-wide KV peak
+# ----------------------------------------------------------------------
+def cluster_kv_peak(event_logs: "Sequence[Sequence]") -> int:
+    """Peak *summed* reserved KV pages across replicas at any event instant.
+
+    Merges the replicas' event logs in clock order (each log's
+    ``kv_reserved_pages`` is a step function over its own events) and
+    tracks the maximum of the sum — the cluster-wide high-water mark, which
+    is lower than the sum of per-replica peaks whenever the replicas peak
+    at different times.
+    """
+    merged = sorted(
+        (
+            (event.clock_s, replica_index, sequence, event.kv_reserved_pages)
+            for replica_index, events in enumerate(event_logs)
+            for sequence, event in enumerate(events)
+        ),
+        key=lambda item: (item[0], item[1], item[2]),
+    )
+    current = [0] * len(event_logs)
+    peak = 0
+    for _, replica_index, _, reserved in merged:
+        current[replica_index] = reserved
+        total = sum(current)
+        if total > peak:
+            peak = total
+    return peak
+
+
+# ----------------------------------------------------------------------
+# Pooled metrics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Pooled metrics of one cluster simulation (plus per-replica detail)."""
+
+    backend: str
+    model: str
+    policy: str
+    router: str
+    admission: str
+    num_replicas: int
+    num_requests: int
+    makespan_s: float
+    busy_s: float
+    utilization: float
+    output_tokens: int
+    tokens_per_s: float
+    requests_per_s: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    ttft_mean_s: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tpot_mean_s: float
+    energy_j: float
+    flops: float
+    admissions: int
+    peak_active: int
+    preemptions: int
+    recomputed_tokens: int
+    #: Requests / tokens routed to each replica, in replica order.
+    routed_requests: tuple[int, ...]
+    routed_tokens: tuple[int, ...]
+    #: max/min routed tokens over replicas (inf when a replica got nothing).
+    load_imbalance: float
+    #: Cluster-wide instantaneous KV peak (summed across replicas).
+    kv_peak_pages: int
+    kv_pages_total: int
+    slo_attainment: "float | None" = None
+    slo_by_class: dict = field(default_factory=dict)
+    per_replica: tuple[ServingMetrics, ...] = field(default_factory=tuple)
+    per_request: tuple[RequestMetrics, ...] = field(default_factory=tuple)
+
+    def to_dict(
+        self, include_requests: bool = True, include_replicas: bool = True
+    ) -> dict:
+        """JSON-stable representation (reports and determinism tests)."""
+        data = {
+            "backend": self.backend,
+            "model": self.model,
+            "policy": self.policy,
+            "router": self.router,
+            "admission": self.admission,
+            "num_replicas": self.num_replicas,
+            "num_requests": self.num_requests,
+            "makespan_s": self.makespan_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "output_tokens": self.output_tokens,
+            "tokens_per_s": self.tokens_per_s,
+            "requests_per_s": self.requests_per_s,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+            "ttft_mean_s": self.ttft_mean_s,
+            "ttft_p50_s": self.ttft_p50_s,
+            "ttft_p99_s": self.ttft_p99_s,
+            "tpot_mean_s": self.tpot_mean_s,
+            "energy_j": self.energy_j,
+            "flops": self.flops,
+            "admissions": self.admissions,
+            "peak_active": self.peak_active,
+            "preemptions": self.preemptions,
+            "recomputed_tokens": self.recomputed_tokens,
+            "routed_requests": list(self.routed_requests),
+            "routed_tokens": list(self.routed_tokens),
+            "load_imbalance": self.load_imbalance,
+            "kv_peak_pages": self.kv_peak_pages,
+            "kv_pages_total": self.kv_pages_total,
+            "slo_attainment": self.slo_attainment,
+            "slo_by_class": self.slo_by_class,
+        }
+        if include_replicas:
+            data["per_replica"] = [
+                metrics.to_dict(include_requests=False)
+                for metrics in self.per_replica
+            ]
+        if include_requests:
+            data["per_request"] = [metrics.to_dict() for metrics in self.per_request]
+        return data
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (``repro serve`` prints this)."""
+        routed = ", ".join(
+            f"r{index}: {count} req / {tokens} tok"
+            for index, (count, tokens) in enumerate(
+                zip(self.routed_requests, self.routed_tokens)
+            )
+        )
+        imbalance = (
+            "inf" if self.load_imbalance == float("inf")
+            else f"{self.load_imbalance:.2f}x"
+        )
+        lines = [
+            f"cluster         : {self.num_replicas} x {self.backend} "
+            f"(router {self.router}, {self.admission} admission)",
+            f"model           : {self.model}",
+            f"policy          : {self.policy}",
+            f"requests        : {self.num_requests} "
+            f"({self.output_tokens} output tokens)",
+            f"routing         : {routed} (imbalance {imbalance})",
+            f"makespan        : {self.makespan_s:.3f} s "
+            f"(summed busy {self.busy_s:.3f} s, {self.utilization:.0%} utilized)",
+            f"throughput      : {self.tokens_per_s:.1f} tokens/s, "
+            f"{self.requests_per_s:.2f} requests/s",
+            f"latency         : mean {self.latency_mean_s * 1e3:.1f} ms, "
+            f"p50 {self.latency_p50_s * 1e3:.1f} ms, "
+            f"p99 {self.latency_p99_s * 1e3:.1f} ms",
+            f"TTFT            : mean {self.ttft_mean_s * 1e3:.1f} ms, "
+            f"p99 {self.ttft_p99_s * 1e3:.1f} ms",
+            f"TPOT            : mean {self.tpot_mean_s * 1e3:.3f} ms/token",
+            f"admission       : {self.admissions} admits, "
+            f"peak {self.peak_active} in flight, "
+            f"{self.preemptions} preemptions "
+            f"({self.recomputed_tokens} tokens recomputed)",
+            f"cluster KV peak : {self.kv_peak_pages}/{self.kv_pages_total} "
+            "pages (summed across replicas)",
+            f"dynamic energy  : {self.energy_j * 1e3:.1f} mJ",
+        ]
+        if self.slo_attainment is not None:
+            by_class = ", ".join(
+                f"class {cls}: {attained:.0%}"
+                for cls, attained in self.slo_by_class.items()
+            )
+            lines.append(
+                f"SLO attainment  : {self.slo_attainment:.0%}"
+                + (f" ({by_class})" if by_class else "")
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Cluster simulator
+# ----------------------------------------------------------------------
+class ClusterSimulator:
+    """Fan one trace out over ``num_replicas`` identical replicas.
+
+    Parameters
+    ----------
+    cost_model:
+        The per-replica backend (shared across replicas: pass costs are
+        pure and cached, so sharing one instance is safe and warm).  Use
+        ``make_cost_model("ianus-xN")`` for replicas that are themselves
+        multi-device.
+    model:
+        The served model.
+    num_replicas:
+        Replica count ``R``.
+    router:
+        A name in :data:`ROUTERS` or a :class:`Router` instance.
+    **simulator_kwargs:
+        Everything else (policy, admission, preempt, kv_fraction, ...) is
+        forwarded to each replica's
+        :class:`~repro.serving.simulator.ServingSimulator`.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        model: ModelConfig,
+        num_replicas: int = 2,
+        router: "Router | str" = "round-robin",
+        **simulator_kwargs,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be at least 1")
+        self.cost_model = cost_model
+        self.model = model
+        self.router = make_router(router) if isinstance(router, str) else router
+        self.replicas = [
+            ServingSimulator(cost_model, model, **simulator_kwargs)
+            for _ in range(num_replicas)
+        ]
+        #: Per-replica event logs of the last simulate() (None entries when
+        #: events were not recorded).
+        self.events: "list[list] | None" = None
+        #: Per-replica request assignments of the last simulate().
+        self.assignments: "list[tuple[Request, ...]] | None" = None
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self, requests: Sequence[Request], record_events: bool = True
+    ) -> ClusterMetrics:
+        """Route and play a trace to completion; returns pooled metrics.
+
+        Events are recorded by default: they feed the cluster-wide KV peak
+        and let every simulation self-validate
+        (:meth:`validate_invariants`); pass ``record_events=False`` to
+        skip both (the KV peak then falls back to the summed per-replica
+        peaks, an upper bound).
+        """
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        bounds = _decode_kv_bounds(ordered)
+        # A reused simulator must stay deterministic: stateful routers
+        # (round-robin's rotation) restart with every simulation.
+        self.router.reset()
+        runs: list[SimulationRun] = [
+            replica.begin(record_events=record_events, kv_bounds=bounds)
+            for replica in self.replicas
+        ]
+        assignments: list[list[Request]] = [[] for _ in runs]
+        routed_tokens = [0] * len(runs)
+        for request in ordered:
+            for run in runs:
+                run.advance_until(request.arrival_s)
+            snapshots = [
+                ReplicaSnapshot(
+                    index=index,
+                    outstanding_requests=run.outstanding_requests,
+                    outstanding_tokens=run.outstanding_tokens,
+                    free_kv_pages=run.kv.free_pages,
+                    total_kv_pages=run.kv.total_pages,
+                    routed_requests=len(assignments[index]),
+                    routed_tokens=routed_tokens[index],
+                )
+                for index, run in enumerate(runs)
+            ]
+            choice = self.router.select(snapshots, request)
+            if not 0 <= choice < len(runs):
+                raise ValueError(
+                    f"router {self.router.name!r} chose replica {choice} of "
+                    f"{len(runs)}"
+                )
+            runs[choice].offer(request)
+            assignments[choice].append(request)
+            routed_tokens[choice] += request.total_tokens
+        per_replica = tuple(run.finish() for run in runs)
+        self.events = [run.events for run in runs]
+        self.assignments = [tuple(assigned) for assigned in assignments]
+        return self._pool(per_replica, ordered, routed_tokens)
+
+    def validate_invariants(self) -> list[str]:
+        """Replay every replica's event log through the extended checker."""
+        if self.events is None or self.assignments is None:
+            raise RuntimeError("validate_invariants() needs a simulate() first")
+        violations: list[str] = []
+        for index, (events, assigned) in enumerate(
+            zip(self.events, self.assignments)
+        ):
+            if events is None:
+                raise RuntimeError(
+                    "validate_invariants() needs simulate(record_events=True)"
+                )
+            replica = self.replicas[index]
+            violations.extend(
+                f"replica {index}: {violation}"
+                for violation in check_invariants(
+                    events,
+                    assigned,
+                    page_tokens=replica.page_tokens,
+                    admission=replica.admission,
+                )
+            )
+        return violations
+
+    # ------------------------------------------------------------------
+    def _pool(
+        self,
+        per_replica: tuple[ServingMetrics, ...],
+        ordered: "list[Request]",
+        routed_tokens: "list[int]",
+    ) -> ClusterMetrics:
+        pooled: list[RequestMetrics] = sorted(
+            (
+                request_metrics
+                for metrics in per_replica
+                for request_metrics in metrics.per_request
+            ),
+            key=lambda metrics: metrics.request_id,
+        )
+        makespan = 0.0
+        if pooled and ordered:
+            makespan = max(m.completion_s for m in pooled) - ordered[0].arrival_s
+        busy = sum(metrics.busy_s for metrics in per_replica)
+        output_tokens = sum(metrics.output_tokens for metrics in per_replica)
+        latencies = [metrics.latency_s for metrics in pooled]
+        ttfts = [metrics.ttft_s for metrics in pooled]
+        tpots = [metrics.tpot_s for metrics in pooled if metrics.output_tokens > 1]
+        mean = lambda values: sum(values) / len(values) if values else 0.0  # noqa: E731
+        scored = [metrics for metrics in pooled if metrics.slo_s > 0.0]
+        slo_attainment: "float | None" = None
+        slo_by_class: dict[str, float] = {}
+        if any(metrics.slo_attainment is not None for metrics in per_replica):
+            if scored:
+                slo_attainment = mean([1.0 if m.slo_met else 0.0 for m in scored])
+                slo_by_class = {
+                    str(cls): mean(
+                        [
+                            1.0 if m.slo_met else 0.0
+                            for m in scored
+                            if m.priority_class == cls
+                        ]
+                    )
+                    for cls in sorted({m.priority_class for m in scored})
+                }
+            else:
+                slo_attainment = 1.0
+        max_tokens, min_tokens = max(routed_tokens), min(routed_tokens)
+        if max_tokens == 0:
+            imbalance = 1.0
+        elif min_tokens == 0:
+            imbalance = float("inf")
+        else:
+            imbalance = max_tokens / min_tokens
+        if self.events is not None and all(
+            events is not None for events in self.events
+        ):
+            kv_peak = cluster_kv_peak(self.events)
+        else:
+            kv_peak = sum(metrics.kv_peak_pages for metrics in per_replica)
+        return ClusterMetrics(
+            backend=self.cost_model.name,
+            model=self.model.name,
+            policy=per_replica[0].policy,
+            router=self.router.name,
+            admission=per_replica[0].admission,
+            num_replicas=len(per_replica),
+            num_requests=len(pooled),
+            makespan_s=makespan,
+            busy_s=busy,
+            utilization=(
+                busy / (len(per_replica) * makespan) if makespan > 0 else 0.0
+            ),
+            output_tokens=output_tokens,
+            tokens_per_s=output_tokens / makespan if makespan > 0 else 0.0,
+            requests_per_s=len(pooled) / makespan if makespan > 0 else 0.0,
+            latency_mean_s=mean(latencies),
+            latency_p50_s=percentile(latencies, 50.0),
+            latency_p99_s=percentile(latencies, 99.0),
+            ttft_mean_s=mean(ttfts),
+            ttft_p50_s=percentile(ttfts, 50.0),
+            ttft_p99_s=percentile(ttfts, 99.0),
+            tpot_mean_s=mean(tpots),
+            energy_j=sum(metrics.energy_j for metrics in per_replica),
+            flops=sum(metrics.flops for metrics in per_replica),
+            admissions=sum(metrics.admissions for metrics in per_replica),
+            peak_active=sum(metrics.peak_active for metrics in per_replica),
+            preemptions=sum(metrics.preemptions for metrics in per_replica),
+            recomputed_tokens=sum(
+                metrics.recomputed_tokens for metrics in per_replica
+            ),
+            routed_requests=tuple(
+                metrics.num_requests for metrics in per_replica
+            ),
+            routed_tokens=tuple(routed_tokens),
+            load_imbalance=imbalance,
+            kv_peak_pages=kv_peak,
+            kv_pages_total=sum(metrics.kv_pages_total for metrics in per_replica),
+            slo_attainment=slo_attainment,
+            slo_by_class=slo_by_class,
+            per_replica=per_replica,
+            per_request=tuple(pooled),
+        )

@@ -16,13 +16,19 @@ This module supplies the missing accounting, vLLM-style:
   whatever the backend's memory system holds beyond the model weights,
   scaled by a ``fraction`` knob so experiments can sweep memory pressure
   without inventing hardware (:func:`kv_budget_bytes`);
-* admission **commits** a request's worst-case page count (its full
-  ``input + output`` tokens) up front and releases it at completion.
-  Committing the maximum is deliberately conservative: it is deadlock-free
-  by construction (an admitted request can always grow to its last token),
-  which is what makes the scheduler's *no over-subscription at any event
-  time* invariant checkable — and cheap to check — in
-  :mod:`repro.serving.validate`.
+* under **worst-case-commit** admission a request's worst-case page count
+  (its full ``input + output`` tokens) is committed up front and released
+  at completion.  Committing the maximum is deliberately conservative: it
+  is deadlock-free by construction (an admitted request can always grow to
+  its last token), which is what makes the scheduler's *no
+  over-subscription at any event time* invariant checkable — and cheap to
+  check — in :mod:`repro.serving.validate`;
+* under **optimistic** admission only the prompt pages are committed up
+  front and decode **grows** the reservation on demand
+  (:meth:`KvPageAccountant.grow`), one page boundary at a time.  Growth can
+  fail when the pool is exhausted; the scheduler then preempts a victim and
+  recomputes it (:mod:`repro.serving.simulator`), so optimism admits more
+  concurrent requests in exchange for occasional wasted work.
 
 Backends expose their capacity differently, so the derivation dispatches on
 what the cost model's ``config`` carries: the simulator backends
@@ -182,6 +188,37 @@ class KvPageAccountant:
 
     def can_reserve(self, tokens: int) -> bool:
         return self.pages_for(tokens) <= self.free_pages
+
+    def held_pages(self, request_id: int) -> int:
+        """Pages currently reserved by one request (0 when none)."""
+        return self._reserved.get(request_id, 0)
+
+    def can_grow(self, request_id: int, tokens: int) -> bool:
+        """Whether a reservation can grow to cover ``tokens`` tokens."""
+        need = self.pages_for(tokens) - self.held_pages(request_id)
+        return need <= self.free_pages
+
+    def grow(self, request_id: int, tokens: int) -> int:
+        """Grow a reservation to cover ``tokens`` tokens; returns added pages.
+
+        On-demand page growth of optimistic admission: a no-op (returns 0)
+        while the tokens still fit the held pages, raises on
+        over-subscription — the scheduler must preempt first.
+        """
+        if request_id not in self._reserved:
+            raise ValueError(f"request {request_id} holds no reservation")
+        need = self.pages_for(tokens) - self._reserved[request_id]
+        if need <= 0:
+            return 0
+        if need > self.free_pages:
+            raise ValueError(
+                f"KV over-subscription: request {request_id} needs {need} more "
+                f"page(s) but only {self.free_pages} of {self.total_pages} are free"
+            )
+        self._reserved[request_id] += need
+        if self.reserved_pages > self.peak_reserved_pages:
+            self.peak_reserved_pages = self.reserved_pages
+        return need
 
     def reserve(self, request_id: int, tokens: int) -> int:
         """Commit the pages of one request; returns the page count."""

@@ -12,13 +12,39 @@ two passes the scheduler may admit new arrivals or change the decode batch.
 Memory-aware admission
 ----------------------
 Admission is governed by the backend's *memory system*, not a head count: a
-:class:`~repro.serving.kv_memory.KvPageAccountant` commits each request's
-worst-case KV pages (its full ``input + output`` tokens) against the bytes
-the backend holds beyond the model weights, scaled by ``kv_fraction``.  A
-request is admitted only when both the policy's concurrency gate and the
-page pool agree; pages are released at completion.  Committed-maximum
-paging is deadlock-free by construction and makes the *no over-subscription
-at any event time* invariant checkable (:mod:`repro.serving.validate`).
+:class:`~repro.serving.kv_memory.KvPageAccountant` commits KV pages against
+the bytes the backend holds beyond the model weights, scaled by
+``kv_fraction``.  A request is admitted only when both the policy's
+concurrency gate and the page pool agree; pages are released at completion.
+Two admission modes are supported:
+
+``admission="worst-case"`` (default)
+    Each request commits its worst-case pages (its full ``input + output``
+    tokens) up front.  Deadlock-free by construction and maximally
+    conservative — the PR 4 behavior, bit-for-bit.
+``admission="optimistic"``
+    Each request commits only its *prompt* pages; every decode pass grows
+    the reservation on demand as the KV cache crosses page boundaries
+    (vLLM-style).  On pool exhaustion the scheduler preempts the active
+    request with the least generated tokens (ties: least prefilled, then
+    latest arrival), releases all its pages, and re-enqueues it for
+    **recompute** from scratch; ``preempt=False`` disables preemption, in
+    which case a decode that cannot grow simply stalls for the iteration
+    (and the simulator raises if *nothing* can run).  Preemptions and the
+    tokens they discard are reported as ``preemptions`` /
+    ``recomputed_tokens``; optimism admits more concurrent requests
+    (``peak_active``) in exchange for that wasted work.
+
+Incremental runs
+----------------
+:meth:`ServingSimulator.begin` returns a :class:`SimulationRun` — the same
+discrete-event loop exposed as ``offer`` / ``advance_until`` / ``finish``
+steps, so a caller can interleave request injection with simulation time.
+``simulate`` is the one-shot wrapper (offer everything, drain); the cluster
+simulator (:mod:`repro.serving.cluster`) drives one run per replica and
+routes each arrival using the replicas' states at that instant.  Offering a
+trace incrementally at its arrival instants is *byte-identical* to the
+one-shot path: admission happens at pass boundaries in both.
 
 Chunked prefill
 ---------------
@@ -111,11 +137,16 @@ __all__ = [
     "PriorityPolicy",
     "POLICIES",
     "make_policy",
+    "ADMISSION_MODES",
     "ServingMetrics",
+    "SimulationRun",
     "ServingSimulator",
     "mean_service_time_s",
     "percentile",
 ]
+
+#: Admission-control modes of the simulator (see the module docstring).
+ADMISSION_MODES = ("worst-case", "optimistic")
 
 #: Default number of KV-length anchors of the interpolating provider.
 DEFAULT_KV_SAMPLES = 9
@@ -466,13 +497,36 @@ POLICIES: dict[str, type[ServingPolicy]] = {
 }
 
 
-def _policy_parameters(cls: type[ServingPolicy]) -> set[str]:
+def _constructor_keywords(cls: type) -> set[str]:
+    """Keyword arguments a class constructor accepts (shared by the policy
+    and router factories, so both validate the same way)."""
     return {
         name
         for name, param in inspect.signature(cls.__init__).parameters.items()
         if name != "self"
         and param.kind in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY)
     }
+
+
+def _validated_construct(kind: str, registry: dict, name: str, kwargs: dict):
+    """Look up ``name`` in ``registry`` and build it, validating kwargs.
+
+    Unknown names raise with the list of known entries; keyword arguments
+    the named class does not accept raise instead of being silently
+    dropped.  The single construction path of policies and routers.
+    """
+    cls = registry.get(name)
+    if cls is None:
+        raise ValueError(f"unknown {kind} {name!r}; known: {', '.join(registry)}")
+    allowed = _constructor_keywords(cls)
+    unexpected = sorted(set(kwargs) - allowed)
+    if unexpected:
+        accepted = ", ".join(sorted(allowed)) if allowed else "none"
+        raise ValueError(
+            f"{kind} {name!r} does not accept {', '.join(unexpected)} "
+            f"(accepted keyword(s): {accepted})"
+        )
+    return cls(**kwargs)
 
 
 def make_policy(name: str, **kwargs) -> ServingPolicy:
@@ -482,18 +536,7 @@ def make_policy(name: str, **kwargs) -> ServingPolicy:
     the named policy does not accept raise instead of being silently
     dropped (e.g. ``max_batch`` on FCFS, which is unbatched by definition).
     """
-    cls = POLICIES.get(name)
-    if cls is None:
-        raise ValueError(f"unknown policy {name!r}; known: {', '.join(POLICIES)}")
-    allowed = _policy_parameters(cls)
-    unexpected = sorted(set(kwargs) - allowed)
-    if unexpected:
-        accepted = ", ".join(sorted(allowed)) if allowed else "none"
-        raise ValueError(
-            f"policy {name!r} does not accept {', '.join(unexpected)} "
-            f"(accepted keyword(s): {accepted})"
-        )
-    return cls(**kwargs)
+    return _validated_construct("policy", POLICIES, name, kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -525,6 +568,16 @@ class ServingMetrics:
     prefill_passes: int
     decode_passes: int
     mean_decode_batch: float
+    #: Admission mode of the run ("worst-case" or "optimistic").
+    admission: str = "worst-case"
+    #: Total admit decisions (> num_requests when preemption re-admits).
+    admissions: int = 0
+    #: High-water mark of concurrently admitted requests.
+    peak_active: int = 0
+    #: Preempt-and-recompute evictions performed by optimistic admission.
+    preemptions: int = 0
+    #: Prompt + output tokens computed then discarded by preemptions.
+    recomputed_tokens: int = 0
     chunk_tokens: int = 0
     kv_page_tokens: int = DEFAULT_PAGE_TOKENS
     kv_pages_total: int = 0
@@ -559,6 +612,11 @@ class ServingMetrics:
             "prefill_passes": self.prefill_passes,
             "decode_passes": self.decode_passes,
             "mean_decode_batch": self.mean_decode_batch,
+            "admission": self.admission,
+            "admissions": self.admissions,
+            "peak_active": self.peak_active,
+            "preemptions": self.preemptions,
+            "recomputed_tokens": self.recomputed_tokens,
             "chunk_tokens": self.chunk_tokens,
             "kv_page_tokens": self.kv_page_tokens,
             "kv_pages_total": self.kv_pages_total,
@@ -602,6 +660,10 @@ class ServingMetrics:
             f"passes          : {self.prefill_passes} prefill, "
             f"{self.decode_passes} decode "
             f"(mean batch {self.mean_decode_batch:.2f})",
+            f"admission       : {self.admission} "
+            f"({self.admissions} admits, peak {self.peak_active} in flight, "
+            f"{self.preemptions} preemptions, "
+            f"{self.recomputed_tokens} tokens recomputed)",
             f"KV memory       : {self.kv_peak_pages}/{self.kv_pages_total} "
             f"pages peak ({self.kv_peak_fraction:.0%} of "
             f"{self.kv_budget_bytes / 2**30:.2f} GiB, "
@@ -618,6 +680,349 @@ class ServingMetrics:
                 + (f" ({by_class})" if by_class else "")
             )
         return "\n".join(lines)
+
+
+class SimulationRun:
+    """One in-progress simulation over a :class:`ServingSimulator`.
+
+    Created by :meth:`ServingSimulator.begin`.  The one-shot
+    :meth:`ServingSimulator.simulate` offers the whole (sorted) trace and
+    drains; the cluster layer instead drives one run per replica — it
+    advances every replica to a request's arrival instant
+    (:meth:`advance_until`), reads the replicas' router-visible state, and
+    :meth:`offer`\\ s the request to the chosen one.  Offering a trace
+    incrementally at its arrival instants produces the *same* event log and
+    metrics as the one-shot path, because the scheduler only acts at pass
+    boundaries in both cases.
+
+    The run owns all mutable state (queues, clock, KV accountant, event
+    log, counters); the simulator it was created from supplies the
+    immutable configuration (policy, provider, admission mode).
+    """
+
+    def __init__(
+        self,
+        sim: "ServingSimulator",
+        record_events: bool = False,
+        kv_bounds: "tuple[int, int] | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.kv = sim._new_accountant()
+        self.events: "list[SimEvent] | None" = [] if record_events else None
+        if kv_bounds is not None:
+            sim.provider.prepare(*kv_bounds)
+        self.pending: "deque[Request]" = deque()
+        self.waiting: list[Request] = []
+        self.active: list[_InFlight] = []
+        self.completed: list[RequestMetrics] = []
+        self.clock = 0.0
+        self.busy = 0.0
+        self.energy = EnergyBreakdown.zero()
+        self.flops = 0.0
+        self.prefill_passes = 0
+        self.decode_passes = 0
+        self.decode_tokens = 0
+        self.admissions = 0
+        self.peak_active = 0
+        self.preemptions = 0
+        self.recomputed_tokens = 0
+        self.offered = 0
+        self.first_arrival: "float | None" = None
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def offer(self, request: Request) -> None:
+        """Inject one request; offers must come in ``(arrival, id)`` order."""
+        if self.finished:
+            raise RuntimeError("cannot offer a request to a finished run")
+        if not self.sim.model.is_decoder and request.output_tokens > 1:
+            raise ValueError(
+                f"{self.sim.model.name} is not a decoder; serving traces for it "
+                "must be summarization-only (output_tokens == 1)"
+            )
+        if self.pending:
+            last = self.pending[-1]
+            if (request.arrival_s, request.request_id) < (
+                last.arrival_s,
+                last.request_id,
+            ):
+                raise ValueError(
+                    "requests must be offered in (arrival_s, request_id) order"
+                )
+        self.pending.append(request)
+        self.offered += 1
+        if self.first_arrival is None:
+            self.first_arrival = request.arrival_s
+
+    # ------------------------------------------------------------------
+    # Router-visible state (read by the cluster layer between offers)
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_requests(self) -> int:
+        """Requests routed here and not yet completed."""
+        return len(self.pending) + len(self.waiting) + len(self.active)
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Prompt + output tokens not yet computed across live requests."""
+        tokens = sum(request.total_tokens for request in self.pending)
+        tokens += sum(request.total_tokens for request in self.waiting)
+        tokens += sum(flight.remaining_tokens for flight in self.active)
+        return tokens
+
+    # ------------------------------------------------------------------
+    def advance_until(self, until: "float | None") -> None:
+        """Run every pass *starting* before ``until`` (all work if ``None``).
+
+        A pass that starts before ``until`` may end after it — exactly as
+        in the one-shot loop, where arrivals during a pass wait for the
+        next pass boundary.  Idle clock jumps stop at the last arrival
+        ``<= until``, so the run never invents knowledge of the future.
+        """
+        while True:
+            while self.pending and self.pending[0].arrival_s <= self.clock:
+                self.waiting.append(self.pending.popleft())
+            if not self.waiting and not self.active:
+                if self.pending and (
+                    until is None or self.pending[0].arrival_s <= until
+                ):
+                    self.clock = self.pending[0].arrival_s
+                    self._emit("idle")
+                    continue
+                return
+            if until is not None and self.clock >= until:
+                return
+            self._admit()
+            if not self.active:
+                raise RuntimeError(
+                    f"policy {self.sim.policy.name!r} left the device idle with "
+                    f"{len(self.waiting)} admissible request(s) waiting"
+                )  # pragma: no cover - defensive, no shipped policy does this
+            self._step()
+
+    def finish(self) -> ServingMetrics:
+        """Drain all remaining work and return the run's metrics."""
+        self.advance_until(None)
+        self.finished = True
+        self.completed.sort(key=lambda metrics: metrics.request_id)
+        makespan = (
+            self.clock - self.first_arrival if self.first_arrival is not None else 0.0
+        )
+        return self.sim._finalize(self, makespan)
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        latency: float = 0.0,
+        request_id: "int | None" = None,
+        tokens: int = 0,
+        decode_ids: tuple = (),
+    ) -> None:
+        if self.events is not None:
+            self.events.append(
+                SimEvent(
+                    kind=kind,
+                    clock_s=self.clock,
+                    latency_s=latency,
+                    request_id=request_id,
+                    tokens=tokens,
+                    decode_ids=decode_ids,
+                    active=len(self.active),
+                    waiting=len(self.waiting),
+                    kv_reserved_pages=self.kv.reserved_pages,
+                    kv_total_pages=self.kv.total_pages,
+                )
+            )
+
+    def _admit(self) -> None:
+        # Admission is instantaneous: commit KV pages and make the
+        # request scheduler-visible.  Both gates must agree — the
+        # policy's concurrency cap and the page pool.  KV blocking is
+        # head-of-line on the policy's own admission order (no
+        # smaller-request bypass), which keeps admission starvation-free
+        # under every policy.  Worst-case mode commits the full
+        # input + output tokens; optimistic mode commits the prompt only
+        # and grows during decode (_grow_batch).
+        sim, kv = self.sim, self.kv
+        while self.waiting and sim.policy.admit(len(self.active)):
+            index = sim.policy.admit_index(self.waiting)
+            request = self.waiting[index]
+            if not kv.fits_alone(request.total_tokens):
+                raise ValueError(
+                    f"request {request.request_id} needs "
+                    f"{kv.pages_for(request.total_tokens)} KV pages but the "
+                    f"pool holds {kv.total_pages}; it can never be served "
+                    f"(raise kv_fraction or the budget)"
+                )
+            commit_tokens = (
+                request.input_tokens
+                if sim.admission == "optimistic"
+                else request.total_tokens
+            )
+            if not kv.can_reserve(commit_tokens):
+                break
+            pages = kv.reserve(request.request_id, commit_tokens)
+            self.waiting.pop(index)
+            self.active.append(_InFlight(request))
+            self.admissions += 1
+            if len(self.active) > self.peak_active:
+                self.peak_active = len(self.active)
+            self._emit("admit", request_id=request.request_id, tokens=pages)
+
+    def _step(self) -> None:
+        """One device iteration: a prefill chunk and/or a fused decode batch."""
+        sim = self.sim
+        prefilling = [flight for flight in self.active if not flight.prefill_done]
+        decodable = [flight for flight in self.active if flight.prefill_done]
+        flight: "_InFlight | None" = None
+        carrier: "PassCost | None" = None
+        chunk = 0
+        batch: list[_InFlight] = []
+        if prefilling:
+            flight = prefilling[sim.policy.prefill_index(prefilling)]
+            remaining = flight.request.input_tokens - flight.prefilled
+            chunk = (
+                remaining
+                if sim.chunk_tokens == 0
+                else min(sim.chunk_tokens, remaining)
+            )
+            carrier = sim.provider.prefill_chunk(flight.prefilled, chunk)
+            # A chunked iteration piggybacks one decode token per batch
+            # member on the chunk's weight streaming (Sarathi-style);
+            # monolithic prefills keep the pass pure.
+            if sim.chunk_tokens and decodable:
+                batch = sim.policy.decode_batch(decodable)
+        else:
+            batch = sim.policy.decode_batch(decodable)
+
+        if sim.admission == "optimistic" and batch:
+            batch = self._grow_batch(batch, flight)
+            if carrier is None and not batch:
+                raise RuntimeError(
+                    "KV pool exhausted with preemption disabled: no decode "
+                    "can grow its pages and no prefill can run (enable "
+                    "preempt or raise the KV budget)"
+                )
+
+        costs = [sim.provider.decode(f.next_kv_length) for f in batch]
+        latency, pass_energy, pass_flops = sim._fused_iteration(carrier, costs)
+        self.clock += latency
+        self.busy += latency
+        self.energy = self.energy + pass_energy
+        self.flops += pass_flops
+        if carrier is not None:
+            self.prefill_passes += 1
+        if batch:
+            self.decode_passes += 1
+            self.decode_tokens += len(batch)
+        self._emit(
+            "step",
+            latency=latency,
+            request_id=None if flight is None else flight.request.request_id,
+            tokens=chunk,
+            decode_ids=tuple(f.request.request_id for f in batch),
+        )
+
+        finished: list[_InFlight] = []
+        if flight is not None:
+            flight.prefilled += chunk
+            if flight.prefill_done:
+                flight.generated = 1
+                flight.first_token_s = self.clock
+                if flight.done:
+                    finished.append(flight)
+        for f in batch:
+            f.generated += 1
+            if f.done:
+                finished.append(f)
+        for f in finished:
+            self.active.remove(f)
+            self.kv.release(f.request.request_id)
+            self.completed.append(sim._completed(f, self.clock))
+            self._emit("complete", request_id=f.request.request_id)
+
+    # ------------------------------------------------------------------
+    # Optimistic admission: on-demand growth and preempt-and-recompute
+    # ------------------------------------------------------------------
+    def _grow_batch(
+        self, batch: "list[_InFlight]", carrier_flight: "_InFlight | None"
+    ) -> "list[_InFlight]":
+        """Grant each decode member the pages its next pass needs.
+
+        Members are processed in the policy's priority order.  A member
+        whose growth does not fit preempts the least-progressed
+        unprotected victim (with ``preempt=True``) until it fits, or is
+        stalled for this iteration.  The first member can always be
+        granted when preemption is on: every admitted request fits the
+        pool alone, so evicting everything else always frees enough.
+        """
+        kv = self.kv
+        granted: list[_InFlight] = []
+        protected: set[int] = set()
+        if carrier_flight is not None:
+            protected.add(id(carrier_flight))
+        for f in batch:
+            if not any(f is flight for flight in self.active):
+                continue  # preempted by an earlier member's growth
+            need = kv.pages_for(f.next_kv_length) - kv.held_pages(
+                f.request.request_id
+            )
+            if need > 0 and need > kv.free_pages and self.sim.preempt:
+                protected.add(id(f))
+                while need > kv.free_pages:
+                    victim = self._choose_victim(protected)
+                    if victim is None:
+                        break  # everyone left is protected: stall, not deadlock
+                    self._preempt(victim)
+            if need <= kv.free_pages:
+                kv.grow(f.request.request_id, f.next_kv_length)
+                granted.append(f)
+                protected.add(id(f))
+        return granted
+
+    def _choose_victim(self, protected: "set[int]") -> "_InFlight | None":
+        """The active request losing the least work: fewest generated
+        tokens, then fewest prefilled, then the latest arrival (LIFO)."""
+        candidates = [
+            flight for flight in self.active if id(flight) not in protected
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda f: (
+                f.generated,
+                f.prefilled,
+                -f.request.arrival_s,
+                -f.request.request_id,
+            ),
+        )
+
+    def _preempt(self, victim: _InFlight) -> None:
+        """Evict one request: release its pages, re-enqueue for recompute."""
+        request = victim.request
+        pages = self.kv.held_pages(request.request_id)
+        self.kv.release(request.request_id)
+        for index, flight in enumerate(self.active):
+            if flight is victim:
+                del self.active[index]
+                break
+        self.preemptions += 1
+        self.recomputed_tokens += victim.prefilled + victim.generated
+        if self.preemptions > 50 * max(self.offered, 1):  # pragma: no cover
+            raise RuntimeError(
+                f"preemption livelock: {self.preemptions} preemptions over "
+                f"{self.offered} offered request(s)"
+            )
+        self._requeue(request)
+        self._emit("preempt", request_id=request.request_id, tokens=pages)
+
+    def _requeue(self, request: Request) -> None:
+        """Re-insert a preempted request, keeping ``waiting`` arrival-sorted."""
+        keys = [(r.arrival_s, r.request_id) for r in self.waiting]
+        index = bisect.bisect_left(keys, (request.arrival_s, request.request_id))
+        self.waiting.insert(index, request)
 
 
 class ServingSimulator:
@@ -653,6 +1058,16 @@ class ServingSimulator:
     slo_targets:
         Optional per-class latency SLO targets in seconds (class ``i`` gets
         ``slo_targets[min(i, len - 1)]``); enables SLO-attainment metrics.
+    admission:
+        ``"worst-case"`` (default) commits a request's full ``input +
+        output`` pages up front; ``"optimistic"`` commits only the prompt
+        pages and grows on demand during decode (see the module docstring).
+    preempt:
+        Under optimistic admission, whether pool exhaustion may preempt
+        (and later recompute) the least-progressed request.  With
+        ``preempt=False`` a decode that cannot grow stalls instead, and the
+        simulator raises ``RuntimeError`` if the pool wedges completely.
+        Ignored under worst-case admission, which never needs to grow.
     """
 
     def __init__(
@@ -669,11 +1084,18 @@ class ServingSimulator:
         kv_budget: "int | None" = None,
         chunk_tokens: int = 0,
         slo_targets: "Sequence[float] | None" = None,
+        admission: str = "worst-case",
+        preempt: bool = True,
     ) -> None:
         if not 0.0 <= batch_share <= 1.0:
             raise ValueError("batch_share must be in [0, 1]")
         if chunk_tokens < 0:
             raise ValueError("chunk_tokens must be non-negative (0 = unchunked)")
+        if admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"admission must be one of {', '.join(ADMISSION_MODES)}; "
+                f"got {admission!r}"
+            )
         if slo_targets is not None:
             slo_targets = tuple(float(target) for target in slo_targets)
             if not slo_targets or any(target <= 0 for target in slo_targets):
@@ -684,7 +1106,7 @@ class ServingSimulator:
             cls = POLICIES.get(policy)
             kwargs = (
                 {"max_batch": max_batch}
-                if cls is not None and "max_batch" in _policy_parameters(cls)
+                if cls is not None and "max_batch" in _constructor_keywords(cls)
                 else {}
             )
             self.policy = make_policy(policy, **kwargs)
@@ -693,6 +1115,8 @@ class ServingSimulator:
         self.batch_share = batch_share
         self.chunk_tokens = chunk_tokens
         self.slo_targets = slo_targets
+        self.admission = admission
+        self.preempt = preempt
         self.kv_fraction = kv_fraction
         self.page_tokens = page_tokens
         self.kv_budget = kv_budget
@@ -714,158 +1138,32 @@ class ServingSimulator:
         )
 
     # ------------------------------------------------------------------
+    def begin(
+        self,
+        record_events: bool = False,
+        kv_bounds: "tuple[int, int] | None" = None,
+    ) -> "SimulationRun":
+        """Start an incremental run (see :class:`SimulationRun`).
+
+        ``kv_bounds`` fixes the decode interpolation anchors up front —
+        pass the :func:`_decode_kv_bounds` of everything the run will ever
+        be offered (the cluster layer passes the whole trace's bounds, so a
+        one-replica cluster prices passes identically to ``simulate``).
+        """
+        return SimulationRun(self, record_events=record_events, kv_bounds=kv_bounds)
+
     def simulate(
         self, requests: Sequence[Request], record_events: bool = False
     ) -> ServingMetrics:
         """Play a trace to completion and return its metrics."""
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        kv = self._new_accountant()
-        events: "list[SimEvent] | None" = [] if record_events else None
-        self.events = events
-        if not ordered:
-            return self._finalize([], 0.0, 0.0, EnergyBreakdown.zero(), 0.0, 0, 0, 0, kv)
-        if not self.model.is_decoder and any(r.output_tokens > 1 for r in ordered):
-            raise ValueError(
-                f"{self.model.name} is not a decoder; serving traces for it "
-                "must be summarization-only (output_tokens == 1)"
-            )
-        kv_bounds = _decode_kv_bounds(ordered)
-        if kv_bounds is not None:
-            self.provider.prepare(*kv_bounds)
-
-        pending = deque(ordered)
-        waiting: list[Request] = []
-        active: list[_InFlight] = []
-        completed: list[RequestMetrics] = []
-        clock = 0.0
-        busy = 0.0
-        energy = EnergyBreakdown.zero()
-        flops = 0.0
-        prefill_passes = 0
-        decode_passes = 0
-        decode_tokens = 0
-
-        def emit(kind: str, latency: float = 0.0, request_id: "int | None" = None,
-                 tokens: int = 0, decode_ids: tuple = ()) -> None:
-            if events is not None:
-                events.append(
-                    SimEvent(
-                        kind=kind,
-                        clock_s=clock,
-                        latency_s=latency,
-                        request_id=request_id,
-                        tokens=tokens,
-                        decode_ids=decode_ids,
-                        active=len(active),
-                        waiting=len(waiting),
-                        kv_reserved_pages=kv.reserved_pages,
-                        kv_total_pages=kv.total_pages,
-                    )
-                )
-
-        while pending or waiting or active:
-            while pending and pending[0].arrival_s <= clock:
-                waiting.append(pending.popleft())
-            if not waiting and not active:
-                clock = pending[0].arrival_s
-                emit("idle")
-                continue
-
-            # Admission is instantaneous: commit KV pages and make the
-            # request scheduler-visible.  Both gates must agree — the
-            # policy's concurrency cap and the page pool.  KV blocking is
-            # head-of-line on the policy's own admission order (no
-            # smaller-request bypass), which keeps admission starvation-free
-            # under every policy.
-            while waiting and self.policy.admit(len(active)):
-                index = self.policy.admit_index(waiting)
-                request = waiting[index]
-                if not kv.fits_alone(request.total_tokens):
-                    raise ValueError(
-                        f"request {request.request_id} needs "
-                        f"{kv.pages_for(request.total_tokens)} KV pages but the "
-                        f"pool holds {kv.total_pages}; it can never be served "
-                        f"(raise kv_fraction or the budget)"
-                    )
-                if not kv.can_reserve(request.total_tokens):
-                    break
-                pages = kv.reserve(request.request_id, request.total_tokens)
-                waiting.pop(index)
-                active.append(_InFlight(request))
-                emit("admit", request_id=request.request_id, tokens=pages)
-
-            if not active:
-                raise RuntimeError(
-                    f"policy {self.policy.name!r} left the device idle with "
-                    f"{len(waiting)} admissible request(s) waiting"
-                )  # pragma: no cover - defensive, no shipped policy does this
-
-            prefilling = [flight for flight in active if not flight.prefill_done]
-            decodable = [flight for flight in active if flight.prefill_done]
-            flight: "_InFlight | None" = None
-            carrier: "PassCost | None" = None
-            chunk = 0
-            batch: list[_InFlight] = []
-            if prefilling:
-                flight = prefilling[self.policy.prefill_index(prefilling)]
-                remaining = flight.request.input_tokens - flight.prefilled
-                chunk = (
-                    remaining
-                    if self.chunk_tokens == 0
-                    else min(self.chunk_tokens, remaining)
-                )
-                carrier = self.provider.prefill_chunk(flight.prefilled, chunk)
-                # A chunked iteration piggybacks one decode token per batch
-                # member on the chunk's weight streaming (Sarathi-style);
-                # monolithic prefills keep the pass pure.
-                if self.chunk_tokens and decodable:
-                    batch = self.policy.decode_batch(decodable)
-            else:
-                batch = self.policy.decode_batch(decodable)
-
-            costs = [self.provider.decode(f.next_kv_length) for f in batch]
-            latency, pass_energy, pass_flops = self._fused_iteration(carrier, costs)
-            clock += latency
-            busy += latency
-            energy = energy + pass_energy
-            flops += pass_flops
-            if carrier is not None:
-                prefill_passes += 1
-            if batch:
-                decode_passes += 1
-                decode_tokens += len(batch)
-            emit(
-                "step",
-                latency=latency,
-                request_id=None if flight is None else flight.request.request_id,
-                tokens=chunk,
-                decode_ids=tuple(f.request.request_id for f in batch),
-            )
-
-            finished: list[_InFlight] = []
-            if flight is not None:
-                flight.prefilled += chunk
-                if flight.prefill_done:
-                    flight.generated = 1
-                    flight.first_token_s = clock
-                    if flight.done:
-                        finished.append(flight)
-            for f in batch:
-                f.generated += 1
-                if f.done:
-                    finished.append(f)
-            for f in finished:
-                active.remove(f)
-                kv.release(f.request.request_id)
-                completed.append(self._completed(f, clock))
-                emit("complete", request_id=f.request.request_id)
-
-        completed.sort(key=lambda metrics: metrics.request_id)
-        makespan = clock - ordered[0].arrival_s
-        return self._finalize(
-            completed, makespan, busy, energy, flops,
-            prefill_passes, decode_passes, decode_tokens, kv,
+        run = self.begin(
+            record_events=record_events, kv_bounds=_decode_kv_bounds(ordered)
         )
+        self.events = run.events
+        for request in ordered:
+            run.offer(request)
+        return run.finish()
 
     # ------------------------------------------------------------------
     def _completed(self, flight: _InFlight, completion_s: float) -> RequestMetrics:
@@ -936,18 +1234,15 @@ class ServingSimulator:
     def _shared_component(values: "list[float]", saved: float) -> float:
         return max(sum(values) - saved, max(values))
 
-    def _finalize(
-        self,
-        completed: "list[RequestMetrics]",
-        makespan: float,
-        busy: float,
-        energy: EnergyBreakdown,
-        flops: float,
-        prefill_passes: int,
-        decode_passes: int,
-        decode_tokens: int,
-        kv: KvPageAccountant,
-    ) -> ServingMetrics:
+    def _finalize(self, run: "SimulationRun", makespan: float) -> ServingMetrics:
+        completed = run.completed
+        busy = run.busy
+        energy = run.energy
+        flops = run.flops
+        prefill_passes = run.prefill_passes
+        decode_passes = run.decode_passes
+        decode_tokens = run.decode_tokens
+        kv = run.kv
         latencies = [metrics.latency_s for metrics in completed]
         ttfts = [metrics.ttft_s for metrics in completed]
         tpots = [metrics.tpot_s for metrics in completed if metrics.output_tokens > 1]
@@ -995,6 +1290,11 @@ class ServingSimulator:
             prefill_passes=prefill_passes,
             decode_passes=decode_passes,
             mean_decode_batch=decode_tokens / decode_passes if decode_passes else 0.0,
+            admission=self.admission,
+            admissions=run.admissions,
+            peak_active=run.peak_active,
+            preemptions=run.preemptions,
+            recomputed_tokens=run.recomputed_tokens,
             chunk_tokens=self.chunk_tokens,
             kv_page_tokens=kv.page_tokens,
             kv_pages_total=kv.total_pages,

@@ -140,6 +140,22 @@ TRACES: dict[str, TraceGenerator] = {
             description="summarization-only: long prompts, single-token output",
             workloads=(Workload(128, 1), Workload(256, 1), Workload(512, 1)),
         ),
+        TraceGenerator(
+            name="skewed",
+            description=(
+                "heavy-tailed mix: mostly short chats, a tail of long jobs "
+                "(stresses request routing across replicas)"
+            ),
+            # Duplicated shapes weight the uniform draw: 6/10 short,
+            # 2/10 medium, 2/10 heavy.  The tail carries ~2/3 of the
+            # total tokens, so per-request routing decisions dominate
+            # replica load balance.
+            workloads=(
+                (Workload(64, 16),) * 6
+                + (Workload(128, 64),) * 2
+                + (Workload(512, 256), Workload(768, 384))
+            ),
+        ),
     )
 }
 

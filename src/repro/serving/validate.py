@@ -11,22 +11,33 @@ The invariants checked (the scheduler's contract):
 
 no KV over-subscription
     At every event, committed KV pages never exceed the pool
-    (``kv_reserved_pages <= kv_total_pages``).
+    (``kv_reserved_pages <= kv_total_pages``).  When the page geometry is
+    supplied (``page_tokens`` plus the ``admission`` mode), the checker
+    additionally replays the page *ledger* itself — commit at admission,
+    on-demand growth per decode step under optimistic admission, release at
+    preemption/completion — and requires every event's reported reservation
+    to equal the replayed one.  A forged event (say, a ``preempt`` that
+    claims to release pages the request never held) breaks the ledger and
+    is reported, so the log proves no over-subscription *at any instant
+    even with growth*.
 work conservation
     The device never idles while an admitted request has a runnable pass:
     an ``idle`` clock jump is only legal when nothing is in flight, and
     every ``step`` must start exactly where the previous event left the
     clock whenever work was in flight.
-token conservation
-    Per request, prefill chunk tokens sum to exactly the prompt length,
-    and decode steps number exactly ``output_tokens - 1`` (the final
-    prefill chunk yields the first output token) — and no request decodes
-    before its prefill completed.
+token conservation (across preemption)
+    Per in-flight *episode* (admit → complete/preempt), prefill chunk
+    tokens never exceed the prompt and decodes never start before the
+    episode's own prefill finished.  The completing episode must have
+    prefilled exactly the prompt and decoded exactly ``output_tokens - 1``
+    passes — preempted work is re-done exactly, from scratch.
 completion
-    Every request of the trace is admitted once, completed once, and the
-    completed count equals the trace length.
+    Every request of the trace is completed exactly once, every admission
+    beyond the first is preceded by a preemption (``admits == preempts +
+    1``), and nothing is left in flight at the end of the log.
 monotone time
-    Event clocks never move backwards.
+    Event clocks never move backwards; ``admit``, ``preempt`` and
+    ``complete`` consume no device time.
 """
 
 from __future__ import annotations
@@ -52,13 +63,19 @@ class SimEvent:
         The device had nothing admitted and jumped the clock to the next
         arrival.  ``latency_s`` is 0; legal only with nothing in flight.
     ``admit``
-        A request was admitted: its worst-case KV pages were committed
-        (``tokens`` is the page count).  Instantaneous.
+        A request was admitted: its KV pages were committed (``tokens`` is
+        the page count — the worst-case ``input + output`` pages under
+        worst-case admission, the prompt pages under optimistic
+        admission).  Instantaneous.
     ``step``
         One device iteration: a prefill chunk of ``request_id``
         (``tokens`` chunk tokens; ``request_id`` is ``None`` for a pure
         decode iteration) fused with one decode token for each request in
         ``decode_ids``.  ``latency_s`` is the iteration's device time.
+    ``preempt``
+        ``request_id`` was evicted to free KV pages (``tokens`` is the
+        page count released) and re-enqueued for recompute from scratch.
+        Instantaneous; emitted only under optimistic admission.
     ``complete``
         ``request_id`` finished and released its KV pages.  Instantaneous.
 
@@ -82,19 +99,84 @@ def _close(a: float, b: float) -> bool:
     return abs(a - b) <= _CLOCK_EPS * max(1.0, abs(a), abs(b))
 
 
+def _pages_for(tokens: int, page_tokens: int) -> int:
+    return -(-tokens // page_tokens)
+
+
+class _Ledger:
+    """Replays the page accounting the events claim, when geometry is known."""
+
+    def __init__(self, page_tokens: int, admission: str) -> None:
+        if page_tokens < 1:
+            raise ValueError("page_tokens must be at least 1")
+        if admission not in ("worst-case", "optimistic"):
+            raise ValueError(
+                f"admission must be 'worst-case' or 'optimistic', got {admission!r}"
+            )
+        self.page_tokens = page_tokens
+        self.optimistic = admission == "optimistic"
+        self.held: dict[int, int] = {}
+
+    @property
+    def reserved(self) -> int:
+        return sum(self.held.values())
+
+    def commit_pages(self, request: Request) -> int:
+        tokens = (
+            request.input_tokens if self.optimistic else request.total_tokens
+        )
+        return _pages_for(tokens, self.page_tokens)
+
+    def admit(self, request: Request) -> None:
+        self.held[request.request_id] = self.commit_pages(request)
+
+    def decode(self, request: Request, decode_steps: int) -> None:
+        """Grow for decode pass number ``decode_steps`` (1-indexed)."""
+        if not self.optimistic:
+            return
+        # Decode pass k reads KV length input + k and appends its token's
+        # entry, so the request must hold pages for input + k tokens.
+        required = _pages_for(
+            request.input_tokens + decode_steps, self.page_tokens
+        )
+        held = self.held.get(request.request_id, 0)
+        if required > held:
+            self.held[request.request_id] = required
+
+    def release(self, request_id: int) -> int:
+        return self.held.pop(request_id, 0)
+
+
 def check_invariants(
-    events: Sequence[SimEvent], requests: Sequence[Request]
+    events: Sequence[SimEvent],
+    requests: Sequence[Request],
+    page_tokens: "int | None" = None,
+    admission: "str | None" = None,
 ) -> list[str]:
-    """Check the scheduler's invariants; returns violations (empty = sound)."""
+    """Check the scheduler's invariants; returns violations (empty = sound).
+
+    ``page_tokens`` and ``admission`` (both or neither) additionally enable
+    the exact page-ledger replay — pass the simulator's ``page_tokens`` and
+    ``admission`` so every reported reservation is re-derived from the
+    trace and compared against the log.
+    """
     violations: list[str] = []
+    ledger: "_Ledger | None" = None
+    if (page_tokens is None) != (admission is None):
+        raise ValueError("pass page_tokens and admission together (or neither)")
+    if page_tokens is not None and admission is not None:
+        ledger = _Ledger(page_tokens, admission)
     by_id = {request.request_id: request for request in requests}
     if len(by_id) != len(requests):
         violations.append("trace contains duplicate request ids")
 
-    admitted: set[int] = set()
+    in_flight: set[int] = set()
     completed: set[int] = set()
+    #: Per-episode counters, reset by admit, discarded by preempt.
     prefill_tokens: dict[int, int] = {}
     decode_steps: dict[int, int] = {}
+    admit_count: dict[int, int] = {}
+    preempt_count: dict[int, int] = {}
     prev_clock = 0.0
     prev_active = 0
 
@@ -117,14 +199,30 @@ def check_invariants(
         elif event.kind == "admit":
             if not _close(event.clock_s, prev_clock):
                 violations.append(f"{where}: admission consumed device time")
-            if event.request_id in admitted:
+            if event.request_id in in_flight:
                 violations.append(f"{where}: request {event.request_id} admitted twice")
+            elif event.request_id in completed:
+                violations.append(
+                    f"{where}: request {event.request_id} admitted after completion"
+                )
             elif event.request_id not in by_id:
                 violations.append(f"{where}: admitted unknown request {event.request_id}")
             else:
-                admitted.add(event.request_id)
+                in_flight.add(event.request_id)
                 prefill_tokens[event.request_id] = 0
                 decode_steps[event.request_id] = 0
+                admit_count[event.request_id] = (
+                    admit_count.get(event.request_id, 0) + 1
+                )
+                if ledger is not None:
+                    request = by_id[event.request_id]
+                    expected = ledger.commit_pages(request)
+                    if event.tokens != expected:
+                        violations.append(
+                            f"{where}: request {event.request_id} committed "
+                            f"{event.tokens} page(s), expected {expected}"
+                        )
+                    ledger.admit(request)
         elif event.kind == "step":
             if event.latency_s <= 0.0:
                 violations.append(f"{where}: step with non-positive latency")
@@ -137,7 +235,7 @@ def check_invariants(
                     f"{prev_active} request(s) were in flight"
                 )
             if event.request_id is not None:
-                if event.request_id not in admitted:
+                if event.request_id not in in_flight:
                     violations.append(
                         f"{where}: prefilled request {event.request_id} "
                         "before admission"
@@ -157,7 +255,7 @@ def check_invariants(
                             f"{request.input_tokens}-token prompt"
                         )
             for decode_id in event.decode_ids:
-                if decode_id not in admitted:
+                if decode_id not in in_flight:
                     violations.append(
                         f"{where}: decoded request {decode_id} before admission"
                     )
@@ -172,25 +270,86 @@ def check_invariants(
                         "prefill completed"
                     )
                 decode_steps[decode_id] = decode_steps.get(decode_id, 0) + 1
+                if ledger is not None and request is not None:
+                    ledger.decode(request, decode_steps[decode_id])
             if event.request_id is not None and event.request_id in event.decode_ids:
                 violations.append(
                     f"{where}: request {event.request_id} prefilled and "
                     "decoded in the same step"
                 )
+        elif event.kind == "preempt":
+            if not _close(event.clock_s, prev_clock):
+                violations.append(f"{where}: preemption consumed device time")
+            if event.request_id not in in_flight:
+                violations.append(
+                    f"{where}: preempted request {event.request_id} that was "
+                    "not in flight"
+                )
+            else:
+                in_flight.discard(event.request_id)
+                preempt_count[event.request_id] = (
+                    preempt_count.get(event.request_id, 0) + 1
+                )
+                # The episode's work is discarded: it must be re-done from
+                # scratch by a later episode (checked at its completion).
+                prefill_tokens.pop(event.request_id, None)
+                decode_steps.pop(event.request_id, None)
+                if ledger is not None:
+                    released = ledger.release(event.request_id)
+                    if event.tokens != released:
+                        violations.append(
+                            f"{where}: preemption of request "
+                            f"{event.request_id} released {event.tokens} "
+                            f"page(s) but it held {released}"
+                        )
         elif event.kind == "complete":
             if not _close(event.clock_s, prev_clock):
                 violations.append(f"{where}: completion consumed device time")
             if event.request_id in completed:
                 violations.append(f"{where}: request {event.request_id} completed twice")
-            elif event.request_id not in admitted:
+            elif event.request_id not in in_flight:
                 violations.append(
                     f"{where}: request {event.request_id} completed without admission"
                 )
             else:
+                in_flight.discard(event.request_id)
                 completed.add(event.request_id)
+                request = by_id.get(event.request_id)
+                if request is not None:
+                    done = prefill_tokens.get(event.request_id, 0)
+                    if done != request.input_tokens:
+                        violations.append(
+                            f"request {event.request_id}: prefill chunks sum "
+                            f"to {done} tokens, prompt is "
+                            f"{request.input_tokens}"
+                        )
+                    expected = request.output_tokens - 1
+                    steps = decode_steps.get(event.request_id, 0)
+                    if steps != expected:
+                        violations.append(
+                            f"request {event.request_id}: {steps} decode "
+                            f"steps, expected {expected}"
+                        )
+                if ledger is not None:
+                    ledger.release(event.request_id)
         else:
             violations.append(f"{where}: unknown event kind {event.kind!r}")
 
+        # The ledger must agree with every reported reservation.  Preempt
+        # events are exempt from the *equality* check only because growth
+        # for earlier batch members interleaves with evictions inside one
+        # iteration; the released-page count is still verified above, and
+        # the very next step event re-pins the full ledger.
+        if (
+            ledger is not None
+            and event.kind != "preempt"
+            and event.kv_reserved_pages != ledger.reserved
+        ):
+            violations.append(
+                f"{where}: page ledger mismatch — event reports "
+                f"{event.kv_reserved_pages} reserved page(s), replay holds "
+                f"{ledger.reserved}"
+            )
         prev_clock = event.clock_s
         prev_active = event.active
 
@@ -199,18 +358,18 @@ def check_invariants(
         if rid not in completed:
             violations.append(f"request {rid} never completed")
             continue
-        if prefill_tokens.get(rid, 0) != request.input_tokens:
+        admits = admit_count.get(rid, 0)
+        preempts = preempt_count.get(rid, 0)
+        if admits != preempts + 1:
             violations.append(
-                f"request {rid}: prefill chunks sum to "
-                f"{prefill_tokens.get(rid, 0)} tokens, prompt is "
-                f"{request.input_tokens}"
+                f"request {rid}: {admits} admission(s) but {preempts} "
+                "preemption(s) — every re-admission needs a preemption"
             )
-        expected = request.output_tokens - 1
-        if decode_steps.get(rid, 0) != expected:
-            violations.append(
-                f"request {rid}: {decode_steps.get(rid, 0)} decode steps, "
-                f"expected {expected}"
-            )
+    if in_flight:
+        leftovers = ", ".join(str(rid) for rid in sorted(in_flight))
+        violations.append(
+            f"request(s) {leftovers} still in flight at the end of the log"
+        )
     if len(completed) != len(requests):
         violations.append(
             f"{len(completed)} requests completed, trace has {len(requests)}"

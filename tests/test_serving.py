@@ -61,7 +61,9 @@ class TestRequest:
 
 class TestTraceGenerators:
     def test_registry_names_resolve(self):
-        assert set(TRACES) == {"gpt2-paper", "dfx-paper", "chatbot", "summarize"}
+        assert set(TRACES) == {
+            "gpt2-paper", "dfx-paper", "chatbot", "summarize", "skewed"
+        }
         for name, generator in TRACES.items():
             assert generator.name == name
             assert generator.max_total_tokens > 0

@@ -111,9 +111,14 @@ class TestCli:
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
-    def test_invalid_backend_rejected_by_parser(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["simulate", "--backend", "tpu"])
+    def test_invalid_backend_rejected(self, capsys):
+        # The parser accepts any backend string (multi-device names are
+        # open-ended: ianus-xN); the command rejects unknown ones with the
+        # full list of known names, multi-device spellings included.
+        assert main(["simulate", "--backend", "tpu"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+        assert "ianus-x2" in err
 
     def test_list_includes_sweeps_and_traces(self, capsys):
         assert main(["list"]) == 0
