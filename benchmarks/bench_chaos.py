@@ -1,0 +1,73 @@
+"""Perf-regression smoke benchmark for production-ops chaos serving.
+
+Times the PR 6 ``chaos`` sweep (GPT-2 M on replicated IANUS: failure
+injection x failover x causal autoscaling x non-stationary traffic on the
+``chatbot`` trace) through the serial runner, and asserts the sweep's
+headline properties so a perf regression can never hide a correctness one:
+
+* the ops layer costs nothing when inert: a one-replica cluster with
+  ``failures="none"`` and the ``fixed`` autoscaler reproduces the plain
+  simulator byte for byte;
+* a replica failure loses nothing — every request completes, output
+  tokens are conserved exactly against the trace, and the in-flight work
+  is rerouted to the survivors for recompute;
+* p99 latency through the failure window degrades by a bounded factor of
+  the clean run, and the chaos run replays byte-for-byte from the same
+  seed and schedule;
+* a causal autoscaler lands on the SLO-vs-replica-seconds frontier:
+  (nearly) the over-provisioned fixed fleet's attainment at a fraction of
+  its replica-seconds, on a diurnal trace it cannot read ahead;
+* every cell's event logs pass the extended invariant checks (failure
+  drops, recoveries and scale markers included).
+
+Run with::
+
+    pytest benchmarks/bench_chaos.py --benchmark-only -q
+
+Set ``REPRO_BENCH_REPORT=/path/to/BENCH_chaos.json`` to also persist the
+per-experiment timing report — augmented with a ``chaos_claims`` section
+pinning the differential identity, the failover guarantees and the
+attainment-vs-replica-seconds frontier — for diffing against a previous
+run (``BENCH_chaos_pr6.json`` is the PR 6 reference).
+"""
+
+import json
+import os
+
+from repro.perf import run_many, write_report
+
+
+def test_chaos_sweep_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_many,
+        args=(("chaos",),),
+        kwargs={"fast": True, "jobs": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(t.ok for t in outcome.report.timings)
+    result = outcome.results["chaos"]
+    assert result.data["differential"]
+    assert result.data["nothing_lost"]
+    assert result.data["failover_loses_nothing"]
+    assert result.data["failover_p99_bounded"]
+    assert result.data["failover_deterministic"]
+    assert result.data["autoscaler_beats_fixed_overprovisioned"]
+    assert result.data["valid"]
+    report_path = os.environ.get("REPRO_BENCH_REPORT")
+    if report_path:
+        path = write_report(outcome.report, report_path)
+        document = json.loads(path.read_text())
+        document["chaos_claims"] = {
+            key: result.data[key]
+            for key in (
+                "differential", "nothing_lost", "failover_loses_nothing",
+                "failover_p99_bounded", "failover_deterministic",
+                "autoscaler_beats_fixed_overprovisioned", "best_adaptive",
+                "valid", "frontier", "failover", "flash", "chaos",
+            )
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n")
+    print()
+    print(outcome.report.to_text())
+    print(outcome.report.cache_summary())

@@ -27,9 +27,21 @@ Three sub-commands cover the common workflows without writing any Python:
     the event log(s) through the scheduling-invariant checker (with exact
     page-ledger replay) and exits nonzero on any violation.
 
+    Production-ops knobs: ``--trace-curve`` modulates the Poisson arrival
+    rate with a named non-stationary curve (``diurnal``, ``flash-crowd``,
+    ``step``), ``--failures`` injects a seeded replica-failure schedule
+    (``single``, ``seeded``) with failover to the surviving replicas, and
+    ``--autoscaler`` turns on a causal scaling policy (``queue-depth``,
+    ``slo-attainment``, ``kv-pressure``) that pays a modeled warm-up per
+    spawned replica.  All three take ``name:key=value,key=value`` specs,
+    e.g. ``--failures single:at-s=2,recover-after-s=5``; ``--failures`` or
+    ``--autoscaler`` routes through the cluster simulator even with
+    ``--replicas 1``.
+
 ``python -m repro list``
     List the available models, backends, experiments, sweep grids (with
-    cell counts) and serving trace generators.
+    cell counts), serving trace generators, trace curves, failure
+    schedules and autoscalers.
 
 ``python -m repro bench``
     Run experiments through the parallel runner (``--jobs N`` shards sweep
@@ -61,6 +73,47 @@ from repro.serving.simulator import ADMISSION_MODES
 from repro.serving.simulator import POLICIES as SERVING_POLICIES
 
 __all__ = ["main", "build_parser"]
+
+
+def _coerce_spec_value(value: str):
+    """``key=value`` values: int if it parses, else float, else the string
+    (``none`` maps to None so ``recover-after-s=none`` works)."""
+    if value.lower() in ("none", "null"):
+        return None
+    for parse in (int, float):
+        try:
+            return parse(value)
+        except ValueError:
+            continue
+    return value
+
+
+def _parse_spec(kind: str, text: str) -> "tuple[str, dict]":
+    """Parse a ``name:key=value,key=value`` CLI spec.
+
+    Keys are kebab-case on the command line and mapped to the Python
+    keyword (``recover-after-s`` -> ``recover_after_s``).  Malformed specs
+    raise ValueError; unknown names and unknown keys are left to the
+    registry factories, which already raise with the known spellings.
+    """
+    name, _, rest = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(
+            f"bad {kind} spec {text!r}: expected name[:key=value,...]"
+        )
+    kwargs: dict = {}
+    if rest.strip():
+        for part in rest.split(","):
+            key, equals, value = part.partition("=")
+            key = key.strip()
+            if not equals or not key:
+                raise ValueError(
+                    f"bad {kind} spec {text!r}: expected name[:key=value,...] "
+                    f"but got segment {part.strip()!r}"
+                )
+            kwargs[key.replace("-", "_")] = _coerce_spec_value(value.strip())
+    return name, kwargs
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -150,6 +203,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default="interleaved")
     serve.add_argument("--trace", default="gpt2-paper",
                        help="trace generator name (see `repro list`)")
+    serve.add_argument("--trace-curve", metavar="SPEC", default=None,
+                       help="non-stationary arrival-rate curve as "
+                            "name:key=value,... — e.g. "
+                            "diurnal:period-s=60,amplitude=0.6 "
+                            "(see `repro list` for curves)")
+    serve.add_argument("--failures", metavar="SPEC", default=None,
+                       help="replica-failure schedule as name:key=value,... "
+                            "— e.g. single:at-s=2,recover-after-s=5 or "
+                            "seeded:mtbf-s=20 (forces the cluster path; "
+                            "see `repro list` for schedules)")
+    serve.add_argument("--autoscaler", metavar="SPEC", default=None,
+                       help="causal scaling policy as name:key=value,... "
+                            "— e.g. queue-depth:high=4,max-replicas=6 "
+                            "(forces the cluster path; see `repro list` "
+                            "for autoscalers)")
     serve.add_argument("--requests", type=int, default=32,
                        help="number of requests in the trace")
     serve.add_argument("--seed", type=int, default=0, help="trace seed")
@@ -304,6 +372,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         ServingSimulator,
         check_invariants,
         get_trace_generator,
+        make_autoscaler,
+        make_failure_schedule,
+        make_trace_curve,
         mean_service_time_s,
     )
 
@@ -357,6 +428,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    curve = failures = autoscaler = None
+    try:
+        if args.trace_curve is not None:
+            name, kwargs = _parse_spec("trace curve", args.trace_curve)
+            curve = make_trace_curve(name, **kwargs)
+        if args.failures is not None:
+            name, kwargs = _parse_spec("failure schedule", args.failures)
+            failures = make_failure_schedule(name, **kwargs)
+        if args.autoscaler is not None:
+            name, kwargs = _parse_spec("autoscaler", args.autoscaler)
+            autoscaler = make_autoscaler(name, **kwargs)
+    except (TypeError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
     if args.preempt and args.admission == "worst-case":
         print("--preempt implies optimistic admission; it contradicts "
@@ -388,7 +473,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                   f"({args.replicas} replica(s)) "
                   f"-> load {args.load} = {rate_rps:.3f} requests/s")
         trace = generator.generate(
-            args.requests, rate_rps, seed=args.seed, num_classes=args.classes
+            args.requests, rate_rps, seed=args.seed, num_classes=args.classes,
+            curve=curve,
         )
         simulator_kwargs = dict(
             policy=args.policy,
@@ -403,12 +489,19 @@ def _run_serve(args: argparse.Namespace) -> int:
             preempt=not args.no_preempt,
         )
         cluster = None
+        # Failure injection and autoscaling live in the cluster simulator,
+        # so either flag routes through it even for a single replica.
+        use_cluster = (
+            args.replicas > 1 or failures is not None or autoscaler is not None
+        )
         try:
-            if args.replicas > 1:
+            if use_cluster:
                 cluster = ClusterSimulator(
                     backend, model,
                     num_replicas=args.replicas,
                     router=args.router,
+                    failures=failures,
+                    autoscaler=autoscaler,
                     **simulator_kwargs,
                 )
                 metrics = cluster.simulate(trace, record_events=True)
@@ -422,8 +515,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         if not args.no_disk_cache:
             flush_disk_caches()
 
+    curve_note = f", curve {curve.describe()}" if curve is not None else ""
     print(f"trace           : {args.trace} x{args.requests} @ "
-          f"{rate_rps:.3f} req/s (seed {args.seed})")
+          f"{rate_rps:.3f} req/s (seed {args.seed}{curve_note})")
     print(metrics.summary())
     stats = backend.cache_stats()
     if stats:
@@ -471,7 +565,12 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 def _run_list() -> int:
     from repro.experiments.registry import EXPERIMENTS, SWEEPS, get_sweep
-    from repro.serving import TRACES
+    from repro.serving import (
+        AUTOSCALERS,
+        FAILURE_SCHEDULES,
+        TRACE_CURVES,
+        TRACES,
+    )
 
     print("models:")
     for key, model in ALL_MODELS.items():
@@ -505,6 +604,18 @@ def _run_list() -> int:
     print("serving traces (`repro serve --trace`):")
     for name, generator in TRACES.items():
         print(f"  {name:<26} {generator.describe()}")
+    print()
+    print("trace curves (`repro serve --trace-curve NAME[:key=value,...]`):")
+    for name, curve_cls in TRACE_CURVES.items():
+        print(f"  {name:<26} {curve_cls().describe()}")
+    print()
+    print("failure schedules (`repro serve --failures NAME[:key=value,...]`):")
+    for name, schedule_cls in FAILURE_SCHEDULES.items():
+        print(f"  {name:<26} {schedule_cls().describe()}")
+    print()
+    print("autoscalers (`repro serve --autoscaler NAME[:key=value,...]`):")
+    for name in AUTOSCALERS:
+        print(f"  {name}")
     return 0
 
 

@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablations,
+    chaos_ops,
     cluster_serving,
     cost_analysis,
     fig02_gpu_breakdown,
@@ -63,6 +64,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "cluster": (
         "cluster serving: replicas x router x admission x load", cluster_serving.run
     ),
+    "chaos": (
+        "production ops: failures x failover x autoscaling x traffic curves",
+        chaos_ops.run,
+    ),
     "cost": ("performance/TDP cost analysis", cost_analysis.run),
     "prototype": ("functional validation (FPGA-prototype stand-in)", prototype_validation.run),
     "ablation-overlap": ("scheduling overlap ablation", ablations.run_overlap_ablation),
@@ -88,6 +93,7 @@ SWEEPS: dict[str, Callable[..., Sweep]] = {
     "fig18": fig18_strong_scaling.sweep,
     "serving": serving_throughput.sweep,
     "cluster": cluster_serving.sweep,
+    "chaos": chaos_ops.sweep,
     "ablation-overlap": ablations.overlap_sweep,
     "ablation-address-mapping": ablations.address_mapping_sweep,
     "ablation-fast-mode": ablations.fast_vs_exact_sweep,

@@ -30,6 +30,14 @@ Layering — who knows what:
     :func:`check_invariants`: replays a recorded event log against the
     trace and reports scheduling-invariant violations (``repro serve
     --validate`` and the invariant test suite use it as an oracle).
+    :func:`check_cluster_invariants` extends the replay across replica
+    failures, failover and autoscaling.
+:mod:`repro.serving.failures`
+    Seeded :class:`FailureSchedule` registry: deterministic replica
+    deaths and recoveries the cluster applies mid-run.
+:mod:`repro.serving.autoscale`
+    Causal :class:`Autoscaler` registry plus the modeled
+    :func:`replica_warmup_s` a spawned replica pays before serving.
 
 The ``serving`` experiment (:mod:`repro.experiments.serving_throughput`)
 sweeps offered load x backend x policy x chunking x KV budget as a
@@ -37,6 +45,17 @@ shardable :class:`~repro.experiments.base.Sweep`, and ``repro serve``
 exposes a single simulation from the command line.
 """
 
+from repro.serving.autoscale import (
+    AUTOSCALERS,
+    Autoscaler,
+    AutoscalerSignal,
+    FixedAutoscaler,
+    KvPressureAutoscaler,
+    QueueDepthAutoscaler,
+    SloAttainmentAutoscaler,
+    make_autoscaler,
+    replica_warmup_s,
+)
 from repro.serving.cluster import (
     ROUTERS,
     ClusterMetrics,
@@ -48,6 +67,15 @@ from repro.serving.cluster import (
     Router,
     cluster_kv_peak,
     make_router,
+)
+from repro.serving.failures import (
+    FAILURE_SCHEDULES,
+    FailureEvent,
+    FailureSchedule,
+    NoFailures,
+    SeededFailures,
+    SingleFailure,
+    make_failure_schedule,
 )
 from repro.serving.kv_memory import (
     DEFAULT_KV_BUDGET_BYTES,
@@ -73,8 +101,23 @@ from repro.serving.simulator import (
     mean_service_time_s,
     percentile,
 )
-from repro.serving.trace import TRACES, TraceGenerator, get_trace_generator
-from repro.serving.validate import SimEvent, check_invariants
+from repro.serving.trace import (
+    TRACE_CURVES,
+    TRACES,
+    ConstantCurve,
+    DiurnalCurve,
+    FlashCrowdCurve,
+    StepCurve,
+    TraceCurve,
+    TraceGenerator,
+    get_trace_generator,
+    make_trace_curve,
+)
+from repro.serving.validate import (
+    SimEvent,
+    check_cluster_invariants,
+    check_invariants,
+)
 
 __all__ = [
     "Request",
@@ -94,6 +137,29 @@ __all__ = [
     "TraceGenerator",
     "TRACES",
     "get_trace_generator",
+    "TraceCurve",
+    "ConstantCurve",
+    "DiurnalCurve",
+    "FlashCrowdCurve",
+    "StepCurve",
+    "TRACE_CURVES",
+    "make_trace_curve",
+    "FailureEvent",
+    "FailureSchedule",
+    "NoFailures",
+    "SingleFailure",
+    "SeededFailures",
+    "FAILURE_SCHEDULES",
+    "make_failure_schedule",
+    "Autoscaler",
+    "AutoscalerSignal",
+    "FixedAutoscaler",
+    "QueueDepthAutoscaler",
+    "SloAttainmentAutoscaler",
+    "KvPressureAutoscaler",
+    "AUTOSCALERS",
+    "make_autoscaler",
+    "replica_warmup_s",
     "DEFAULT_KV_BUDGET_BYTES",
     "DEFAULT_PAGE_TOKENS",
     "KvPageAccountant",
@@ -113,4 +179,5 @@ __all__ = [
     "percentile",
     "SimEvent",
     "check_invariants",
+    "check_cluster_invariants",
 ]

@@ -31,15 +31,49 @@ A one-replica cluster reproduces the single-device simulator **byte for
 byte** under every router (all decisions collapse to replica 0, and the
 run prices passes over the same anchor grid), which is the differential
 test pinning this layer to PR 3/4's.
+
+Production ops: failures, failover, autoscaling
+-----------------------------------------------
+A production fleet is not fixed: replicas die, recover, and are scaled
+with load.  ``ClusterSimulator(..., failures=..., autoscaler=...)``
+activates the ops layer:
+
+- a :class:`~repro.serving.failures.FailureSchedule` kills replicas at
+  scheduled instants — the victim's KV pages are dropped and its
+  unfinished requests *fail over*: they are re-routed (through the same
+  router, over the surviving replicas' state at the failure instant) and
+  recomputed from scratch, keeping their original arrival so latency
+  accrues across the failure.  Recovery brings the replica back empty.
+- an :class:`~repro.serving.autoscale.Autoscaler` is consulted at every
+  arrival instant on router-visible state only.  A spawned replica warms
+  up for :func:`~repro.serving.autoscale.replica_warmup_s` (weights over
+  the host link plus one priming pass, priced by the cost model) before
+  it may serve; a drained replica finishes its routed work but takes no
+  new requests.  Routers therefore receive the *eligible subset* of
+  snapshots and must return the chosen snapshot's ``index`` field.
+
+The fleet's cost is metered in **replica-seconds** (the energy/price
+proxy the chaos benches trade against SLO attainment): each replica is
+billed from the trace start (or its spawn) until it fails, empties after
+a drain, or the run ends.  With no failure schedule and no autoscaler the
+ops layer is inert and the run is byte-identical to the plain cluster.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.costmodel import CostModel
 from repro.models.transformer import ModelConfig
+from repro.serving.autoscale import (
+    Autoscaler,
+    AutoscalerSignal,
+    make_autoscaler,
+    replica_warmup_s,
+)
+from repro.serving.failures import FailureSchedule, make_failure_schedule
 from repro.serving.request import Request, RequestMetrics
 from repro.serving.simulator import (
     ServingMetrics,
@@ -49,7 +83,7 @@ from repro.serving.simulator import (
     _validated_construct,
     percentile,
 )
-from repro.serving.validate import check_invariants
+from repro.serving.validate import check_cluster_invariants, check_invariants
 
 __all__ = [
     "ReplicaSnapshot",
@@ -88,11 +122,13 @@ class ReplicaSnapshot:
 class Router:
     """Chooses the replica that serves the next arrival.
 
-    ``select`` sees one :class:`ReplicaSnapshot` per replica (index order)
-    plus the arriving request, and returns a replica index.  Routers may
-    keep internal state (round-robin does); ``reset`` is called at the
-    start of every cluster simulation so a reused
-    :class:`ClusterSimulator` stays deterministic run over run.
+    ``select`` sees one :class:`ReplicaSnapshot` per *eligible* replica
+    (ascending ``index`` order — under failures/autoscaling this may be a
+    subset of the fleet) plus the arriving request, and returns the chosen
+    snapshot's ``index`` field.  Routers may keep internal state
+    (round-robin does); ``reset`` is called at the start of every cluster
+    simulation so a reused :class:`ClusterSimulator` stays deterministic
+    run over run.
     """
 
     name = "router"
@@ -107,20 +143,20 @@ class Router:
 
 
 class RoundRobinRouter(Router):
-    """Rotate through replicas, blind to their state."""
+    """Rotate through the offered replicas, blind to their state."""
 
     name = "round-robin"
 
     def __init__(self) -> None:
         self._next = 0
 
-    def reset(self) -> None:
-        self._next = 0
-
     def select(self, replicas, request):
-        choice = self._next % len(replicas)
+        choice = replicas[self._next % len(replicas)].index
         self._next += 1
         return choice
+
+    def reset(self) -> None:
+        self._next = 0
 
 
 class LeastOutstandingTokensRouter(Router):
@@ -237,6 +273,21 @@ class ClusterMetrics:
     kv_pages_total: int
     slo_attainment: "float | None" = None
     slo_by_class: dict = field(default_factory=dict)
+    #: Production-ops accounting (inert defaults when no failure schedule
+    #: or autoscaler was configured).
+    failure_schedule: str = "none"
+    autoscaler: str = "fixed"
+    failures: int = 0
+    recoveries: int = 0
+    rerouted_requests: int = 0
+    dropped_kv_pages: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    #: Summed alive time across replicas — the fleet's energy/cost proxy.
+    replica_seconds: float = 0.0
+    peak_replicas: int = 0
+    #: Modeled warm-up a spawned replica pays before serving.
+    warmup_s: float = 0.0
     per_replica: tuple[ServingMetrics, ...] = field(default_factory=tuple)
     per_request: tuple[RequestMetrics, ...] = field(default_factory=tuple)
 
@@ -278,6 +329,17 @@ class ClusterMetrics:
             "kv_pages_total": self.kv_pages_total,
             "slo_attainment": self.slo_attainment,
             "slo_by_class": self.slo_by_class,
+            "failure_schedule": self.failure_schedule,
+            "autoscaler": self.autoscaler,
+            "failures": self.failures,
+            "recoveries": self.recoveries,
+            "rerouted_requests": self.rerouted_requests,
+            "dropped_kv_pages": self.dropped_kv_pages,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "replica_seconds": self.replica_seconds,
+            "peak_replicas": self.peak_replicas,
+            "warmup_s": self.warmup_s,
         }
         if include_replicas:
             data["per_replica"] = [
@@ -326,6 +388,17 @@ class ClusterMetrics:
             "pages (summed across replicas)",
             f"dynamic energy  : {self.energy_j * 1e3:.1f} mJ",
         ]
+        if self.failure_schedule != "none" or self.autoscaler != "fixed":
+            lines.append(
+                f"ops             : {self.failures} failure(s) "
+                f"({self.rerouted_requests} rerouted, "
+                f"{self.dropped_kv_pages} pages dropped), "
+                f"{self.recoveries} recovery(ies), "
+                f"+{self.scale_ups}/-{self.scale_downs} scale, "
+                f"{self.replica_seconds:.3f} replica-s "
+                f"(peak {self.peak_replicas} replicas, "
+                f"warm-up {self.warmup_s * 1e3:.1f} ms)"
+            )
         if self.slo_attainment is not None:
             by_class = ", ".join(
                 f"class {cls}: {attained:.0%}"
@@ -341,6 +414,280 @@ class ClusterMetrics:
 # ----------------------------------------------------------------------
 # Cluster simulator
 # ----------------------------------------------------------------------
+def _snapshot(
+    index: int,
+    run: SimulationRun,
+    assignments: "list[list[Request]]",
+    routed_tokens: "list[int]",
+) -> ReplicaSnapshot:
+    """The router-visible state of one replica at this instant."""
+    return ReplicaSnapshot(
+        index=index,
+        outstanding_requests=run.outstanding_requests,
+        outstanding_tokens=run.outstanding_tokens,
+        free_kv_pages=run.kv.free_pages,
+        total_kv_pages=run.kv.total_pages,
+        routed_requests=len(assignments[index]),
+        routed_tokens=routed_tokens[index],
+    )
+
+
+class _OpsState:
+    """Mutable production-ops bookkeeping of one ``simulate()`` call.
+
+    Owns the fleet's liveness/draining/warm-up state, applies the failure
+    schedule (failover included), consults the autoscaler, and meters
+    replica-seconds.  Created only when a failure schedule or autoscaler
+    is configured; inert configurations (``failures="none"`` with the
+    ``fixed`` autoscaler) leave every run byte-identical to the plain
+    fixed-fleet path.
+    """
+
+    def __init__(
+        self,
+        cluster: "ClusterSimulator",
+        runs: "list[SimulationRun]",
+        assignments: "list[list[Request]]",
+        routed_tokens: "list[int]",
+        start: float,
+        record_events: bool,
+        bounds: "tuple[int, int] | None",
+    ) -> None:
+        self.cluster = cluster
+        self.runs = runs
+        self.assignments = assignments
+        self.routed_tokens = routed_tokens
+        self.record_events = record_events
+        self.bounds = bounds
+        schedule = cluster.failures
+        self.pending = deque(
+            sorted(schedule.events(len(runs))) if schedule is not None else ()
+        )
+        count = len(runs)
+        self.alive = [True] * count
+        self.draining = [False] * count
+        #: Initial replicas are warm from the start; spawned ones wait.
+        self.ready_at = [float("-inf")] * count
+        #: Open billing segment per replica (None while failed/closed).
+        self.open_clock: "list[float | None]" = [start] * count
+        self.seconds = [0.0] * count
+        self.drain_clock = [0.0] * count
+        self.failures = 0
+        self.recoveries = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.rerouted = 0
+        self.dropped_pages = 0
+        self.peak_replicas = count
+        self._has_slo = bool(cluster.replicas[0].slo_targets)
+
+    # -- liveness ------------------------------------------------------
+    def eligible(self, now: float) -> "list[int]":
+        """Replicas the router may choose from: alive, warmed, not draining."""
+        return [
+            index
+            for index in range(len(self.runs))
+            if self.alive[index]
+            and not self.draining[index]
+            and self.ready_at[index] <= now
+        ]
+
+    def apply_until(self, now: "float | None") -> None:
+        """Apply every scheduled fleet event at or before ``now`` (all
+        remaining ones when ``None``, at the end of the trace)."""
+        while self.pending and (now is None or self.pending[0].time_s <= now):
+            event = self.pending.popleft()
+            if event.kind == "fail":
+                self._fail(event)
+            else:
+                self._recover(event)
+
+    def _fail(self, event) -> None:
+        index = event.replica
+        if not self.alive[index]:
+            raise RuntimeError(
+                f"failure schedule kills replica {index} at "
+                f"{event.time_s:.6f}s but it is already down"
+            )
+        run = self.runs[index]
+        run.advance_until(event.time_s)
+        lost, pages = run.fail(event.time_s)
+        self.alive[index] = False
+        self.failures += 1
+        self.dropped_pages += pages
+        # Billed until the straddling pass ended (run.clock >= fail time).
+        self._close_segment(index, run.clock)
+        if not lost:
+            return
+        candidates = self.eligible(event.time_s)
+        if not candidates:
+            # Emergency failover: no serving replica survives.  Reverse
+            # any in-progress drain first — a draining replica is warm
+            # and alive, so cancelling its retirement is how production
+            # absorbs a failure mid-scale-down.
+            for i in range(len(self.runs)):
+                if self.alive[i] and self.draining[i]:
+                    self.draining[i] = False
+                    self.scale_downs -= 1
+                    candidates.append(i)
+        if not candidates:
+            # Last resort: replicas still warming up.  They take the
+            # work now but begin recomputing only once warmed.
+            candidates = [
+                i for i in range(len(self.runs)) if self.alive[i]
+            ]
+        if not candidates:
+            raise RuntimeError(
+                f"replica {index} failed at {event.time_s:.6f}s with "
+                f"{len(lost)} unfinished request(s) and no eligible "
+                "replica to fail over to"
+            )
+        for survivor in candidates:
+            # Survivors advance to the failure instant before receiving
+            # work: resubmits bypass the pending queue, so an idle
+            # survivor must not start recomputing in the past (a warming
+            # survivor, no earlier than the end of its warm-up).
+            self.runs[survivor].advance_until(event.time_s)
+            self.runs[survivor].catch_up(
+                max(event.time_s, self.ready_at[survivor])
+            )
+        router = self.cluster.router
+        for request in lost:
+            snapshots = [
+                _snapshot(i, self.runs[i], self.assignments, self.routed_tokens)
+                for i in candidates
+            ]
+            choice = router.select(snapshots, request)
+            if choice not in set(candidates):
+                raise ValueError(
+                    f"router {router.name!r} chose replica {choice} of "
+                    f"{len(self.runs)} (eligible: {candidates})"
+                )
+            self.runs[choice].resubmit(request)
+            self.assignments[choice].append(request)
+            self.routed_tokens[choice] += request.total_tokens
+            self.rerouted += 1
+
+    def _recover(self, event) -> None:
+        index = event.replica
+        if self.alive[index]:
+            raise RuntimeError(
+                f"failure schedule recovers replica {index} at "
+                f"{event.time_s:.6f}s but it is not down"
+            )
+        self.runs[index].recover(event.time_s)
+        self.alive[index] = True
+        self.recoveries += 1
+        self.open_clock[index] = event.time_s
+        self._note_peak()
+
+    def _note_peak(self) -> None:
+        count = sum(1 for flag in self.alive if flag)
+        if count > self.peak_replicas:
+            self.peak_replicas = count
+
+    # -- autoscaling ---------------------------------------------------
+    def autoscale(self, now: float) -> None:
+        autoscaler = self.cluster.autoscaler
+        if autoscaler is None:
+            return
+        candidates = self.eligible(now)
+        snapshots = tuple(
+            _snapshot(i, self.runs[i], self.assignments, self.routed_tokens)
+            for i in candidates
+        )
+        provisioned = sum(
+            1
+            for index in range(len(self.runs))
+            if self.alive[index] and not self.draining[index]
+        )
+        signal = AutoscalerSignal(
+            clock_s=now,
+            snapshots=snapshots,
+            provisioned_replicas=provisioned,
+            slo_attainment=self._window_attainment(now, autoscaler.window_s),
+        )
+        delta = autoscaler.evaluate(signal)
+        if delta > 0:
+            self._spawn(now)
+        elif delta < 0:
+            self._drain(now, snapshots)
+
+    def _window_attainment(
+        self, now: float, window_s: float
+    ) -> "float | None":
+        """Causal SLO attainment: scored completions inside the window."""
+        if not self._has_slo:
+            return None
+        met = 0
+        total = 0
+        for run in self.runs:
+            for metrics in run.completed:
+                if metrics.slo_s <= 0.0:
+                    continue
+                if now - window_s <= metrics.completion_s <= now:
+                    total += 1
+                    if metrics.slo_met:
+                        met += 1
+        if total == 0:
+            return None
+        return met / total
+
+    def _spawn(self, now: float) -> None:
+        cluster = self.cluster
+        replica = ServingSimulator(
+            cluster.cost_model, cluster.model, **cluster._simulator_kwargs
+        )
+        cluster.replicas.append(replica)
+        run = replica.begin(
+            record_events=self.record_events, kv_bounds=self.bounds
+        )
+        run.clock = now
+        run.note_scale(+1)
+        self.runs.append(run)
+        self.assignments.append([])
+        self.routed_tokens.append(0)
+        self.alive.append(True)
+        self.draining.append(False)
+        self.ready_at.append(now + cluster._warmup_s)
+        self.open_clock.append(now)
+        self.seconds.append(0.0)
+        self.drain_clock.append(0.0)
+        self.scale_ups += 1
+        self._note_peak()
+
+    def _drain(self, now: float, snapshots: "tuple[ReplicaSnapshot, ...]") -> None:
+        if len(snapshots) <= 1:
+            return  # never drain the last serving replica
+        # Retire the least-loaded serving replica (ties: the newest).
+        choice = min(
+            snapshots, key=lambda snap: (snap.outstanding_tokens, -snap.index)
+        ).index
+        self.draining[choice] = True
+        self.drain_clock[choice] = now
+        self.runs[choice].note_scale(-1)
+        self.scale_downs += 1
+
+    # -- replica-seconds -----------------------------------------------
+    def _close_segment(self, index: int, end: float) -> None:
+        begin = self.open_clock[index]
+        if begin is not None:
+            self.seconds[index] += max(0.0, end - begin)
+            self.open_clock[index] = None
+
+    def close_out(self, global_end: float) -> None:
+        """Close every open billing segment at the end of the run."""
+        for index in range(len(self.runs)):
+            if self.open_clock[index] is None:
+                continue
+            if self.draining[index]:
+                # A drained replica stops billing once its work is done.
+                end = max(self.drain_clock[index], self.runs[index].clock)
+            else:
+                end = global_end
+            self._close_segment(index, end)
+
+
 class ClusterSimulator:
     """Fan one trace out over ``num_replicas`` identical replicas.
 
@@ -354,13 +701,22 @@ class ClusterSimulator:
     model:
         The served model.
     num_replicas:
-        Replica count ``R``.
+        Replica count ``R`` (the *initial* fleet when autoscaling).
     router:
         A name in :data:`ROUTERS` or a :class:`Router` instance.
+    failures:
+        A name in :data:`~repro.serving.failures.FAILURE_SCHEDULES`, a
+        :class:`~repro.serving.failures.FailureSchedule` instance, or
+        ``None`` (never fails).
+    autoscaler:
+        A name in :data:`~repro.serving.autoscale.AUTOSCALERS`, an
+        :class:`~repro.serving.autoscale.Autoscaler` instance, or ``None``
+        (fixed fleet).
     **simulator_kwargs:
         Everything else (policy, admission, preempt, kv_fraction, ...) is
         forwarded to each replica's
-        :class:`~repro.serving.simulator.ServingSimulator`.
+        :class:`~repro.serving.simulator.ServingSimulator` — including
+        replicas spawned by the autoscaler mid-run.
     """
 
     def __init__(
@@ -369,6 +725,8 @@ class ClusterSimulator:
         model: ModelConfig,
         num_replicas: int = 2,
         router: "Router | str" = "round-robin",
+        failures: "FailureSchedule | str | None" = None,
+        autoscaler: "Autoscaler | str | None" = None,
         **simulator_kwargs,
     ) -> None:
         if num_replicas < 1:
@@ -376,6 +734,23 @@ class ClusterSimulator:
         self.cost_model = cost_model
         self.model = model
         self.router = make_router(router) if isinstance(router, str) else router
+        self.failures = (
+            make_failure_schedule(failures)
+            if isinstance(failures, str)
+            else failures
+        )
+        self.autoscaler = (
+            make_autoscaler(autoscaler)
+            if isinstance(autoscaler, str)
+            else autoscaler
+        )
+        self._simulator_kwargs = dict(simulator_kwargs)
+        self._initial_count = num_replicas
+        self._warmup_s = (
+            replica_warmup_s(cost_model, model)
+            if self.autoscaler is not None
+            else 0.0
+        )
         self.replicas = [
             ServingSimulator(cost_model, model, **simulator_kwargs)
             for _ in range(num_replicas)
@@ -385,10 +760,15 @@ class ClusterSimulator:
         self.events: "list[list] | None" = None
         #: Per-replica request assignments of the last simulate().
         self.assignments: "list[tuple[Request, ...]] | None" = None
+        self._last_trace: "tuple[Request, ...] | None" = None
 
     @property
     def num_replicas(self) -> int:
         return len(self.replicas)
+
+    @property
+    def _ops_active(self) -> bool:
+        return self.failures is not None or self.autoscaler is not None
 
     # ------------------------------------------------------------------
     def simulate(
@@ -405,55 +785,95 @@ class ClusterSimulator:
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         bounds = _decode_kv_bounds(ordered)
         # A reused simulator must stay deterministic: stateful routers
-        # (round-robin's rotation) restart with every simulation.
+        # (round-robin's rotation) restart with every simulation, and the
+        # fleet shrinks back to its initial replicas (autoscaling grows
+        # self.replicas mid-run).
         self.router.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+        del self.replicas[self._initial_count :]
         runs: list[SimulationRun] = [
             replica.begin(record_events=record_events, kv_bounds=bounds)
             for replica in self.replicas
         ]
         assignments: list[list[Request]] = [[] for _ in runs]
         routed_tokens = [0] * len(runs)
+        start = ordered[0].arrival_s if ordered else 0.0
+        ops: "_OpsState | None" = None
+        if self._ops_active:
+            ops = _OpsState(
+                self, runs, assignments, routed_tokens, start,
+                record_events, bounds,
+            )
         for request in ordered:
-            for run in runs:
-                run.advance_until(request.arrival_s)
+            arrival = request.arrival_s
+            if ops is not None:
+                ops.apply_until(arrival)
+                for index, run in enumerate(runs):
+                    if ops.alive[index]:
+                        run.advance_until(arrival)
+                ops.autoscale(arrival)
+                candidates = ops.eligible(arrival)
+                if not candidates:
+                    raise RuntimeError(
+                        f"no eligible replica for request "
+                        f"{request.request_id} at {arrival:.6f}s (every "
+                        "replica is failed, draining or warming up)"
+                    )
+            else:
+                for run in runs:
+                    run.advance_until(arrival)
+                candidates = list(range(len(runs)))
             snapshots = [
-                ReplicaSnapshot(
-                    index=index,
-                    outstanding_requests=run.outstanding_requests,
-                    outstanding_tokens=run.outstanding_tokens,
-                    free_kv_pages=run.kv.free_pages,
-                    total_kv_pages=run.kv.total_pages,
-                    routed_requests=len(assignments[index]),
-                    routed_tokens=routed_tokens[index],
-                )
-                for index, run in enumerate(runs)
+                _snapshot(index, runs[index], assignments, routed_tokens)
+                for index in candidates
             ]
             choice = self.router.select(snapshots, request)
-            if not 0 <= choice < len(runs):
+            if choice not in set(candidates):
                 raise ValueError(
                     f"router {self.router.name!r} chose replica {choice} of "
-                    f"{len(runs)}"
+                    f"{len(runs)} (eligible: {candidates})"
                 )
             runs[choice].offer(request)
             assignments[choice].append(request)
             routed_tokens[choice] += request.total_tokens
+        if ops is not None:
+            ops.apply_until(None)
         per_replica = tuple(run.finish() for run in runs)
         self.events = [run.events for run in runs]
         self.assignments = [tuple(assigned) for assigned in assignments]
-        return self._pool(per_replica, ordered, routed_tokens)
+        self._last_trace = tuple(ordered)
+        return self._pool(per_replica, ordered, routed_tokens, ops)
 
     def validate_invariants(self) -> list[str]:
-        """Replay every replica's event log through the extended checker."""
+        """Replay the last run's event logs through the invariant checker.
+
+        Fixed fleets replay each replica's log against its exact
+        assignment (:func:`~repro.serving.validate.check_invariants`);
+        with a failure schedule or autoscaler active, failover
+        legitimately moves requests between replicas, so the cross-replica
+        books are balanced instead
+        (:func:`~repro.serving.validate.check_cluster_invariants`).
+        """
         if self.events is None or self.assignments is None:
             raise RuntimeError("validate_invariants() needs a simulate() first")
+        if any(events is None for events in self.events):
+            raise RuntimeError(
+                "validate_invariants() needs simulate(record_events=True)"
+            )
+        if self._ops_active:
+            reference = self.replicas[0]
+            return check_cluster_invariants(
+                self.events,
+                self._last_trace or (),
+                page_tokens=reference.page_tokens,
+                admission=reference.admission,
+                initial_replicas=self._initial_count,
+            )
         violations: list[str] = []
         for index, (events, assigned) in enumerate(
             zip(self.events, self.assignments)
         ):
-            if events is None:
-                raise RuntimeError(
-                    "validate_invariants() needs simulate(record_events=True)"
-                )
             replica = self.replicas[index]
             violations.extend(
                 f"replica {index}: {violation}"
@@ -472,6 +892,7 @@ class ClusterSimulator:
         per_replica: tuple[ServingMetrics, ...],
         ordered: "list[Request]",
         routed_tokens: "list[int]",
+        ops: "_OpsState | None" = None,
     ) -> ClusterMetrics:
         pooled: list[RequestMetrics] = sorted(
             (
@@ -482,9 +903,22 @@ class ClusterSimulator:
             key=lambda metrics: metrics.request_id,
         )
         makespan = 0.0
+        last_completion = ordered[0].arrival_s if ordered else 0.0
         if pooled and ordered:
-            makespan = max(m.completion_s for m in pooled) - ordered[0].arrival_s
+            last_completion = max(m.completion_s for m in pooled)
+            makespan = last_completion - ordered[0].arrival_s
         busy = sum(metrics.busy_s for metrics in per_replica)
+        if ops is not None:
+            ops.close_out(last_completion)
+            replica_seconds = sum(ops.seconds)
+            peak_replicas = ops.peak_replicas
+            utilization = busy / replica_seconds if replica_seconds > 0 else 0.0
+        else:
+            replica_seconds = len(per_replica) * makespan
+            peak_replicas = len(per_replica)
+            utilization = (
+                busy / (len(per_replica) * makespan) if makespan > 0 else 0.0
+            )
         output_tokens = sum(metrics.output_tokens for metrics in per_replica)
         latencies = [metrics.latency_s for metrics in pooled]
         ttfts = [metrics.ttft_s for metrics in pooled]
@@ -531,9 +965,7 @@ class ClusterSimulator:
             num_requests=len(pooled),
             makespan_s=makespan,
             busy_s=busy,
-            utilization=(
-                busy / (len(per_replica) * makespan) if makespan > 0 else 0.0
-            ),
+            utilization=utilization,
             output_tokens=output_tokens,
             tokens_per_s=output_tokens / makespan if makespan > 0 else 0.0,
             requests_per_s=len(pooled) / makespan if makespan > 0 else 0.0,
@@ -561,6 +993,21 @@ class ClusterSimulator:
             kv_pages_total=sum(metrics.kv_pages_total for metrics in per_replica),
             slo_attainment=slo_attainment,
             slo_by_class=slo_by_class,
+            failure_schedule=(
+                self.failures.name if self.failures is not None else "none"
+            ),
+            autoscaler=(
+                self.autoscaler.name if self.autoscaler is not None else "fixed"
+            ),
+            failures=ops.failures if ops is not None else 0,
+            recoveries=ops.recoveries if ops is not None else 0,
+            rerouted_requests=ops.rerouted if ops is not None else 0,
+            dropped_kv_pages=ops.dropped_pages if ops is not None else 0,
+            scale_ups=ops.scale_ups if ops is not None else 0,
+            scale_downs=ops.scale_downs if ops is not None else 0,
+            replica_seconds=replica_seconds,
+            peak_replicas=peak_replicas,
+            warmup_s=self._warmup_s,
             per_replica=per_replica,
             per_request=tuple(pooled),
         )

@@ -239,3 +239,13 @@ class KvPageAccountant:
         if request_id not in self._reserved:
             raise ValueError(f"request {request_id} holds no reservation")
         del self._reserved[request_id]
+
+    def release_all(self) -> int:
+        """Drop every reservation at once (replica failure); returns pages freed.
+
+        The cache contents are gone with the replica, so the victims must
+        recompute from scratch wherever they land next.
+        """
+        pages = self.reserved_pages
+        self._reserved.clear()
+        return pages

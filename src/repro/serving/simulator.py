@@ -729,12 +729,17 @@ class SimulationRun:
         self.offered = 0
         self.first_arrival: "float | None" = None
         self.finished = False
+        #: Set by :meth:`fail` — a dead replica takes no work until recovery.
+        self.dead = False
+        self._last_until: "float | None" = None
 
     # ------------------------------------------------------------------
     def offer(self, request: Request) -> None:
         """Inject one request; offers must come in ``(arrival, id)`` order."""
         if self.finished:
-            raise RuntimeError("cannot offer a request to a finished run")
+            raise ValueError("cannot offer a request to a finished run")
+        if self.dead:
+            raise ValueError("cannot offer a request to a failed replica")
         if not self.sim.model.is_decoder and request.output_tokens > 1:
             raise ValueError(
                 f"{self.sim.model.name} is not a decoder; serving traces for it "
@@ -778,7 +783,20 @@ class SimulationRun:
         in the one-shot loop, where arrivals during a pass wait for the
         next pass boundary.  Idle clock jumps stop at the last arrival
         ``<= until``, so the run never invents knowledge of the future.
+
+        Targets must not move backwards: simulated time only advances, so
+        a caller handing a smaller ``until`` than its previous one holds a
+        stale clock and gets a ``ValueError`` rather than a silent no-op.
         """
+        if self.finished:
+            raise ValueError("cannot advance a finished run")
+        if until is not None:
+            if self._last_until is not None and until < self._last_until:
+                raise ValueError(
+                    f"advance_until moved backwards: target {until:.6f}s is "
+                    f"before the previous target {self._last_until:.6f}s"
+                )
+            self._last_until = until
         while True:
             while self.pending and self.pending[0].arrival_s <= self.clock:
                 self.waiting.append(self.pending.popleft())
@@ -802,6 +820,8 @@ class SimulationRun:
 
     def finish(self) -> ServingMetrics:
         """Drain all remaining work and return the run's metrics."""
+        if self.finished:
+            raise ValueError("finish() called twice on the same run")
         self.advance_until(None)
         self.finished = True
         self.completed.sort(key=lambda metrics: metrics.request_id)
@@ -897,12 +917,20 @@ class SimulationRun:
             batch = sim.policy.decode_batch(decodable)
 
         if sim.admission == "optimistic" and batch:
+            requested = batch
             batch = self._grow_batch(batch, flight)
             if carrier is None and not batch:
+                head = requested[0]
+                kv = self.kv
+                held = kv.held_pages(head.request.request_id)
+                need = kv.pages_for(head.next_kv_length) - held
                 raise RuntimeError(
-                    "KV pool exhausted with preemption disabled: no decode "
-                    "can grow its pages and no prefill can run (enable "
-                    "preempt or raise the KV budget)"
+                    "KV pool exhausted with preemption disabled: request "
+                    f"{head.request.request_id} holds {held} page(s) and "
+                    f"needs {need} more for its next decode, but only "
+                    f"{kv.free_pages} of {kv.total_pages} pool page(s) are "
+                    "free and no prefill can run (enable preempt or raise "
+                    "the KV budget)"
                 )
 
         costs = [sim.provider.decode(f.next_kv_length) for f in batch]
@@ -1023,6 +1051,87 @@ class SimulationRun:
         keys = [(r.arrival_s, r.request_id) for r in self.waiting]
         index = bisect.bisect_left(keys, (request.arrival_s, request.request_id))
         self.waiting.insert(index, request)
+
+    # ------------------------------------------------------------------
+    # Failure injection and failover (driven by the cluster layer)
+    # ------------------------------------------------------------------
+    def fail(self, now: float) -> "tuple[list[Request], int]":
+        """Kill this replica at instant ``now``.
+
+        Every KV page is dropped (the cache dies with the device) and every
+        request routed here but not yet completed is returned — in
+        ``(arrival, id)`` order — for the cluster to fail over to
+        survivors, which recompute them from scratch.  Failure lands at
+        pass granularity: the caller advances the run to ``now`` first, so
+        passes that started before the instant stand (their completions are
+        safe) and everything else is lost.  Returns ``(lost, pages)`` where
+        ``pages`` is the KV page count dropped.
+        """
+        if self.finished:
+            raise ValueError("cannot fail a finished run")
+        if self.dead:
+            raise ValueError("replica is already dead")
+        dropped_ids = tuple(
+            sorted(flight.request.request_id for flight in self.active)
+        )
+        lost = [flight.request for flight in self.active]
+        lost.extend(self.waiting)
+        lost.extend(self.pending)
+        lost.sort(key=lambda request: (request.arrival_s, request.request_id))
+        pages = self.kv.release_all()
+        self.active.clear()
+        self.waiting.clear()
+        self.pending.clear()
+        if now > self.clock:
+            self.clock = now
+        self.dead = True
+        self._emit("fail", tokens=pages, decode_ids=dropped_ids)
+        return lost, pages
+
+    def recover(self, now: float) -> None:
+        """Bring a failed replica back (empty: its KV cache did not survive)."""
+        if self.finished:
+            raise ValueError("cannot recover a finished run")
+        if not self.dead:
+            raise ValueError("cannot recover a replica that is not dead")
+        self.dead = False
+        if now > self.clock:
+            self.clock = now
+        self._emit("recover")
+
+    def resubmit(self, request: Request) -> None:
+        """Re-inject a failed-over request for recompute from scratch.
+
+        Unlike :meth:`offer`, arrival order against the pending queue is
+        not enforced: the request's original arrival may predate requests
+        this replica has already seen.  It keeps that original arrival, so
+        its latency keeps accruing across the failure — failover does not
+        reset the clock.
+        """
+        if self.finished:
+            raise ValueError("cannot resubmit a request to a finished run")
+        if self.dead:
+            raise ValueError("cannot resubmit a request to a failed replica")
+        self._requeue(request)
+        self.offered += 1
+        if self.first_arrival is None or request.arrival_s < self.first_arrival:
+            self.first_arrival = request.arrival_s
+
+    def catch_up(self, now: float) -> None:
+        """Jump an idle replica's clock forward to ``now``.
+
+        Failover resubmits bypass the pending queue (and with it the idle
+        jump in :meth:`advance_until`), so the cluster calls this first —
+        otherwise an idle survivor would start recomputing a victim's work
+        *before* the failure instant.
+        """
+        if now > self.clock and not self.active and not self.waiting:
+            self.clock = now
+            self._emit("idle")
+
+    def note_scale(self, delta: int) -> None:
+        """Record an autoscaling decision (+1 spawn, -1 drain) in the log."""
+        self._emit("scale", tokens=delta)
 
 
 class ServingSimulator:

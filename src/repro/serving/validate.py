@@ -38,6 +38,17 @@ completion
 monotone time
     Event clocks never move backwards; ``admit``, ``preempt`` and
     ``complete`` consume no device time.
+
+Production-ops events (``fail``, ``recover``, ``scale``) extend the
+contract across a cluster: :func:`check_cluster_invariants` replays every
+replica's log independently (a failure must drop exactly the pages and
+requests the replica held, a dead replica must stay silent until its
+recovery, an autoscaled replica's log must open with its scale-up marker)
+and then checks the *global* books — every request of the trace completes
+exactly once across all replicas, and every admission is explained by a
+preemption or a failure drop (``admits == preempts + drops + 1``).  A
+forged or deleted failure event breaks either the per-replica ledger or
+the global accounting and is reported.
 """
 
 from __future__ import annotations
@@ -47,7 +58,7 @@ from typing import Sequence
 
 from repro.serving.request import Request
 
-__all__ = ["SimEvent", "check_invariants"]
+__all__ = ["SimEvent", "check_invariants", "check_cluster_invariants"]
 
 #: Relative slack for floating-point clock comparisons.
 _CLOCK_EPS = 1e-9
@@ -78,6 +89,17 @@ class SimEvent:
         Instantaneous; emitted only under optimistic admission.
     ``complete``
         ``request_id`` finished and released its KV pages.  Instantaneous.
+    ``fail``
+        The replica died: every KV page was dropped (``tokens`` is the
+        page count) and every request vanished (``decode_ids`` lists the
+        *admitted* ones — queued victims left no device state behind).
+        The replica is dead until a ``recover`` event.
+    ``recover``
+        A failed replica came back, empty.
+    ``scale``
+        An autoscaling decision: ``tokens`` is +1 (this replica was
+        spawned — must be its log's first event) or -1 (this replica was
+        marked draining: it finishes its work but takes no new routes).
 
     ``clock_s`` is the simulation time *after* the event; ``active`` and
     ``waiting`` are the in-flight/queued request counts after it.
@@ -147,29 +169,19 @@ class _Ledger:
         return self.held.pop(request_id, 0)
 
 
-def check_invariants(
+def _replay(
     events: Sequence[SimEvent],
-    requests: Sequence[Request],
-    page_tokens: "int | None" = None,
-    admission: "str | None" = None,
-) -> list[str]:
-    """Check the scheduler's invariants; returns violations (empty = sound).
+    by_id: "dict[int, Request]",
+    ledger: "_Ledger | None",
+) -> "tuple[list[str], dict]":
+    """Replay one event log; returns (violations, end-of-log accounting).
 
-    ``page_tokens`` and ``admission`` (both or neither) additionally enable
-    the exact page-ledger replay — pass the simulator's ``page_tokens`` and
-    ``admission`` so every reported reservation is re-derived from the
-    trace and compared against the log.
+    The accounting dict carries what the cross-log checks need: the
+    requests still in flight, the per-request admit/preempt/failure-drop
+    counts, the completed set, and whether the log opened with a scale-up
+    marker.
     """
     violations: list[str] = []
-    ledger: "_Ledger | None" = None
-    if (page_tokens is None) != (admission is None):
-        raise ValueError("pass page_tokens and admission together (or neither)")
-    if page_tokens is not None and admission is not None:
-        ledger = _Ledger(page_tokens, admission)
-    by_id = {request.request_id: request for request in requests}
-    if len(by_id) != len(requests):
-        violations.append("trace contains duplicate request ids")
-
     in_flight: set[int] = set()
     completed: set[int] = set()
     #: Per-episode counters, reset by admit, discarded by preempt.
@@ -177,8 +189,11 @@ def check_invariants(
     decode_steps: dict[int, int] = {}
     admit_count: dict[int, int] = {}
     preempt_count: dict[int, int] = {}
+    fail_drops: dict[int, int] = {}
     prev_clock = 0.0
     prev_active = 0
+    dead = False
+    scale_up_first = False
 
     for index, event in enumerate(events):
         where = f"event {index} ({event.kind} @ {event.clock_s:.6f}s)"
@@ -188,6 +203,10 @@ def check_invariants(
             violations.append(
                 f"{where}: KV over-subscription — {event.kv_reserved_pages} "
                 f"pages committed of {event.kv_total_pages}"
+            )
+        if dead and event.kind != "recover":
+            violations.append(
+                f"{where}: event on a failed replica before its recovery"
             )
 
         if event.kind == "idle":
@@ -332,6 +351,48 @@ def check_invariants(
                         )
                 if ledger is not None:
                     ledger.release(event.request_id)
+        elif event.kind == "fail":
+            dropped = set(event.decode_ids)
+            if dropped != in_flight:
+                claimed = ", ".join(str(rid) for rid in sorted(dropped)) or "-"
+                held = ", ".join(str(rid) for rid in sorted(in_flight)) or "-"
+                violations.append(
+                    f"{where}: failure dropped request(s) {claimed} but "
+                    f"{held} were in flight"
+                )
+            if ledger is not None and event.tokens != ledger.reserved:
+                violations.append(
+                    f"{where}: failure dropped {event.tokens} page(s) but "
+                    f"the replica held {ledger.reserved}"
+                )
+            for rid in in_flight:
+                fail_drops[rid] = fail_drops.get(rid, 0) + 1
+            in_flight.clear()
+            prefill_tokens.clear()
+            decode_steps.clear()
+            if ledger is not None:
+                ledger.held.clear()
+            dead = True
+        elif event.kind == "recover":
+            if not dead:
+                violations.append(
+                    f"{where}: recovery without a preceding failure"
+                )
+            dead = False
+        elif event.kind == "scale":
+            if event.tokens == 1:
+                if index != 0:
+                    violations.append(
+                        f"{where}: scale-up marker must be the replica's "
+                        "first event"
+                    )
+                else:
+                    scale_up_first = True
+            elif event.tokens != -1:
+                violations.append(
+                    f"{where}: scale event must carry +1 (spawn) or "
+                    f"-1 (drain), got {event.tokens}"
+                )
         else:
             violations.append(f"{where}: unknown event kind {event.kind!r}")
 
@@ -353,20 +414,58 @@ def check_invariants(
         prev_clock = event.clock_s
         prev_active = event.active
 
+    stats = {
+        "in_flight": in_flight,
+        "completed": completed,
+        "admit_count": admit_count,
+        "preempt_count": preempt_count,
+        "fail_drops": fail_drops,
+        "scale_up_first": scale_up_first,
+    }
+    return violations, stats
+
+
+def check_invariants(
+    events: Sequence[SimEvent],
+    requests: Sequence[Request],
+    page_tokens: "int | None" = None,
+    admission: "str | None" = None,
+) -> list[str]:
+    """Check the scheduler's invariants; returns violations (empty = sound).
+
+    ``page_tokens`` and ``admission`` (both or neither) additionally enable
+    the exact page-ledger replay — pass the simulator's ``page_tokens`` and
+    ``admission`` so every reported reservation is re-derived from the
+    trace and compared against the log.
+    """
+    if (page_tokens is None) != (admission is None):
+        raise ValueError("pass page_tokens and admission together (or neither)")
+    ledger: "_Ledger | None" = None
+    if page_tokens is not None and admission is not None:
+        ledger = _Ledger(page_tokens, admission)
+    violations: list[str] = []
+    by_id = {request.request_id: request for request in requests}
+    if len(by_id) != len(requests):
+        violations.append("trace contains duplicate request ids")
+
+    replay_violations, stats = _replay(events, by_id, ledger)
+    violations.extend(replay_violations)
+    completed = stats["completed"]
+
     for request in requests:
         rid = request.request_id
         if rid not in completed:
             violations.append(f"request {rid} never completed")
             continue
-        admits = admit_count.get(rid, 0)
-        preempts = preempt_count.get(rid, 0)
+        admits = stats["admit_count"].get(rid, 0)
+        preempts = stats["preempt_count"].get(rid, 0)
         if admits != preempts + 1:
             violations.append(
                 f"request {rid}: {admits} admission(s) but {preempts} "
                 "preemption(s) — every re-admission needs a preemption"
             )
-    if in_flight:
-        leftovers = ", ".join(str(rid) for rid in sorted(in_flight))
+    if stats["in_flight"]:
+        leftovers = ", ".join(str(rid) for rid in sorted(stats["in_flight"]))
         violations.append(
             f"request(s) {leftovers} still in flight at the end of the log"
         )
@@ -374,4 +473,92 @@ def check_invariants(
         violations.append(
             f"{len(completed)} requests completed, trace has {len(requests)}"
         )
+    return violations
+
+
+def check_cluster_invariants(
+    event_logs: "Sequence[Sequence[SimEvent]]",
+    requests: Sequence[Request],
+    page_tokens: "int | None" = None,
+    admission: "str | None" = None,
+    initial_replicas: "int | None" = None,
+) -> list[str]:
+    """Check a cluster run with failures/failover/autoscaling; empty = sound.
+
+    Every replica's log is replayed independently against the *full* trace
+    (failover legitimately moves a request between replicas, so assignment
+    is not fixed), then the global books are balanced:
+
+    - every request of the trace completes **exactly once** across all
+      replicas (failover loses nothing, recomputes duplicate nothing);
+    - every admission is explained — globally, ``admits == preempts +
+      failure drops + 1`` per request, the token-conservation argument
+      extended across replica death;
+    - a dead replica emits nothing until its ``recover`` event, and a
+      failure drops exactly the pages and in-flight requests the replica's
+      replayed ledger holds;
+    - replicas beyond ``initial_replicas`` (default: all of them) were
+      autoscaled into existence and must open their log with the ``scale``
+      +1 marker.
+    """
+    if (page_tokens is None) != (admission is None):
+        raise ValueError("pass page_tokens and admission together (or neither)")
+    if initial_replicas is None:
+        initial_replicas = len(event_logs)
+    violations: list[str] = []
+    by_id = {request.request_id: request for request in requests}
+    if len(by_id) != len(requests):
+        violations.append("trace contains duplicate request ids")
+
+    admit_total: dict[int, int] = {}
+    preempt_total: dict[int, int] = {}
+    drop_total: dict[int, int] = {}
+    completions: dict[int, int] = {}
+    for replica, events in enumerate(event_logs):
+        ledger: "_Ledger | None" = None
+        if page_tokens is not None and admission is not None:
+            ledger = _Ledger(page_tokens, admission)
+        replay_violations, stats = _replay(events, by_id, ledger)
+        violations.extend(
+            f"replica {replica}: {violation}" for violation in replay_violations
+        )
+        if stats["in_flight"]:
+            leftovers = ", ".join(str(rid) for rid in sorted(stats["in_flight"]))
+            violations.append(
+                f"replica {replica}: request(s) {leftovers} still in flight "
+                "at the end of the log"
+            )
+        if replica >= initial_replicas and not stats["scale_up_first"]:
+            violations.append(
+                f"replica {replica}: autoscaled replica's log does not open "
+                "with its scale-up marker"
+            )
+        for rid, count in stats["admit_count"].items():
+            admit_total[rid] = admit_total.get(rid, 0) + count
+        for rid, count in stats["preempt_count"].items():
+            preempt_total[rid] = preempt_total.get(rid, 0) + count
+        for rid, count in stats["fail_drops"].items():
+            drop_total[rid] = drop_total.get(rid, 0) + count
+        for rid in stats["completed"]:
+            completions[rid] = completions.get(rid, 0) + 1
+
+    for request in requests:
+        rid = request.request_id
+        done = completions.get(rid, 0)
+        if done == 0:
+            violations.append(f"request {rid} never completed")
+            continue
+        if done > 1:
+            violations.append(
+                f"request {rid} completed {done} times across replicas"
+            )
+        admits = admit_total.get(rid, 0)
+        preempts = preempt_total.get(rid, 0)
+        drops = drop_total.get(rid, 0)
+        if admits != preempts + drops + 1:
+            violations.append(
+                f"request {rid}: {admits} admission(s) but {preempts} "
+                f"preemption(s) and {drops} failure drop(s) — every "
+                "re-admission needs a preemption or a failure"
+            )
     return violations
