@@ -249,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chunk-tokens", type=int, default=0,
                        help="prefill chunk size in tokens; chunks piggyback "
                             "decode tokens (default 0 = whole-prompt prefill)")
+    serve.add_argument("--engine", default="object",
+                       help="simulation engine: 'object' (reference, "
+                            "per-iteration) or 'array' (vectorized megatrace "
+                            "core; same metrics, much faster)")
+    serve.add_argument("--profile", action="store_true",
+                       help="print per-phase wall time (trace generation, "
+                            "admit, prefill, decode, metrics); single "
+                            "replica only")
     serve.add_argument("--validate", action="store_true",
                        help="replay the event log through the scheduling-"
                             "invariant checker; exit nonzero on violation")
@@ -366,8 +374,11 @@ def _run_bench(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     import json
 
+    from time import perf_counter
+
     from repro.perf import flush_disk_caches, install_disk_caches
     from repro.serving import (
+        ENGINES,
         ClusterSimulator,
         ServingSimulator,
         check_invariants,
@@ -412,6 +423,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 2
     if args.classes < 1:
         print("--classes must be at least 1", file=sys.stderr)
+        return 2
+    if args.engine not in ENGINES:
+        print(
+            f"unknown engine {args.engine!r}; known engines: "
+            + ", ".join(ENGINES),
+            file=sys.stderr,
+        )
         return 2
     slo_targets = None
     if args.slo is not None:
@@ -472,10 +490,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             print(f"nominal capacity : {args.replicas / service_s:.3f} requests/s "
                   f"({args.replicas} replica(s)) "
                   f"-> load {args.load} = {rate_rps:.3f} requests/s")
+        trace_start = perf_counter()
         trace = generator.generate(
             args.requests, rate_rps, seed=args.seed, num_classes=args.classes,
             curve=curve,
         )
+        trace_gen_s = perf_counter() - trace_start
         simulator_kwargs = dict(
             policy=args.policy,
             max_batch=args.max_batch,
@@ -487,6 +507,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             slo_targets=slo_targets,
             admission=admission,
             preempt=not args.no_preempt,
+            engine=args.engine,
         )
         cluster = None
         # Failure injection and autoscaling live in the cluster simulator,
@@ -494,6 +515,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         use_cluster = (
             args.replicas > 1 or failures is not None or autoscaler is not None
         )
+        if args.profile and use_cluster:
+            print("--profile times a single replica; it does not combine "
+                  "with --replicas > 1, --failures or --autoscaler",
+                  file=sys.stderr)
+            return 2
         try:
             if use_cluster:
                 cluster = ClusterSimulator(
@@ -506,7 +532,9 @@ def _run_serve(args: argparse.Namespace) -> int:
                 )
                 metrics = cluster.simulate(trace, record_events=True)
             else:
-                simulator = ServingSimulator(backend, model, **simulator_kwargs)
+                simulator = ServingSimulator(
+                    backend, model, profile=args.profile, **simulator_kwargs
+                )
                 metrics = simulator.simulate(trace, record_events=args.validate)
         except ValueError as error:  # e.g. encoder trace, model too large
             print(str(error), file=sys.stderr)
@@ -519,6 +547,15 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"trace           : {args.trace} x{args.requests} @ "
           f"{rate_rps:.3f} req/s (seed {args.seed}{curve_note})")
     print(metrics.summary())
+    if args.profile:
+        phases = simulator.last_run.phase_s
+        breakdown = " | ".join(
+            f"{name} {phases[name]:.3f}s"
+            for name in ("admit", "prefill", "decode", "metrics")
+        )
+        total = trace_gen_s + sum(phases.values())
+        print(f"profile [{args.engine}] : trace-gen {trace_gen_s:.3f}s | "
+              f"{breakdown} | total {total:.3f}s")
     stats = backend.cache_stats()
     if stats:
         print(f"pass-cost cache : {stats.get('hits', 0)} hits / "

@@ -117,13 +117,14 @@ def run(fast: bool = True) -> ExperimentResult:
     return sweep(fast).execute()
 
 
-def _simulator_kwargs(admission: str) -> dict:
+def _simulator_kwargs(admission: str, engine: str = "object") -> dict:
     return {
         "policy": POLICY,
         "max_batch": MAX_BATCH,
         "kv_fraction": KV_FRACTION,
         "admission": admission,
         "preempt": True,
+        "engine": engine,
     }
 
 
@@ -157,10 +158,11 @@ def _run_cell(params: dict) -> dict:
     from repro.serving.validate import check_invariants
 
     admission = params["admission"]
+    engine = params.get("engine", "object")
     if params["mode"] == "single":
         cost_model, model, trace, service_s, rate_rps = _trace_and_rate(params, 1)
         simulator = ServingSimulator(
-            cost_model, model, **_simulator_kwargs(admission)
+            cost_model, model, **_simulator_kwargs(admission, engine)
         )
         metrics = simulator.simulate(trace, record_events=True)
         violations = check_invariants(
@@ -184,7 +186,7 @@ def _run_cell(params: dict) -> dict:
         model,
         num_replicas=replicas,
         router=params["router"],
-        **_simulator_kwargs(admission),
+        **_simulator_kwargs(admission, engine),
     )
     metrics = cluster.simulate(trace, record_events=True)
     violations = cluster.validate_invariants()

@@ -26,6 +26,22 @@ Layering — who knows what:
     NPU-MEM, A100, DFX), with memory-aware admission, optional chunked
     prefill, and FCFS / interleaved / SRPT / priority-class policies.  The
     only layer that touches cost models, and only through the protocol.
+:mod:`repro.serving.array_engine` / :mod:`repro.serving.decode_table`
+    The *megatrace* engine.  ``ServingSimulator(..., engine="array")``
+    swaps the per-request object hot loop for a columnar one (parallel
+    state lists, dense :class:`~repro.serving.decode_table.DecodeCostTable`
+    pricing, prefix-sum macro-stepping over uneventful decode runs) behind
+    the same ``SimulationRun`` API.  ``engine="object"`` (the default)
+    remains the reference: with events recorded the array engine is
+    bit-identical to it, and macro-stepped pooled metrics agree to 1e-9.
+    Pick ``array`` for million-request traces and sweeps; pick ``object``
+    when stepping through or debugging individual scheduling decisions.
+    :data:`ENGINES` lists the valid names; unknown names raise with that
+    list.  ``per_request_detail=False`` additionally pools metrics without
+    materializing a ``RequestMetrics`` row per request (single replica
+    only), and ``TraceGenerator.generate_stream`` feeds
+    ``ServingSimulator.simulate_stream`` arrivals in O(chunk) memory —
+    byte-identical to ``generate`` under every trace curve.
 :mod:`repro.serving.validate`
     :func:`check_invariants`: replays a recorded event log against the
     trace and reports scheduling-invariant violations (``repro serve
@@ -84,9 +100,11 @@ from repro.serving.kv_memory import (
     backend_memory_capacity_bytes,
     kv_budget_bytes,
 )
+from repro.serving.decode_table import DecodeCostTable, build_decode_table
 from repro.serving.request import Request, RequestMetrics
 from repro.serving.simulator import (
     ADMISSION_MODES,
+    ENGINES,
     POLICIES,
     FcfsPolicy,
     InterleavedPolicy,
@@ -97,6 +115,7 @@ from repro.serving.simulator import (
     ServingSimulator,
     SimulationRun,
     SrptPolicy,
+    decode_kv_bounds,
     make_policy,
     mean_service_time_s,
     percentile,
@@ -133,7 +152,11 @@ __all__ = [
     "make_router",
     "cluster_kv_peak",
     "ADMISSION_MODES",
+    "ENGINES",
     "SimulationRun",
+    "DecodeCostTable",
+    "build_decode_table",
+    "decode_kv_bounds",
     "TraceGenerator",
     "TRACES",
     "get_trace_generator",

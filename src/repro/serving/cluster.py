@@ -731,6 +731,13 @@ class ClusterSimulator:
     ) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be at least 1")
+        if simulator_kwargs.get("per_request_detail") is False:
+            # Cluster metrics are pooled across replicas FROM the
+            # per-request rows, so replicas must keep them.
+            raise ValueError(
+                "per_request_detail=False is not supported for cluster "
+                "replicas; the cluster pools metrics from per-request rows"
+            )
         self.cost_model = cost_model
         self.model = model
         self.router = make_router(router) if isinstance(router, str) else router

@@ -110,6 +110,28 @@ fast generation mode of :meth:`repro.core.system.IanusSystem.run`, and the
 reason a load sweep touches a handful of simulated passes instead of
 thousands.  Every anchor evaluation routes through the backend's shared
 (persistently cacheable) pass-cost cache.
+
+Engines
+-------
+Two interchangeable implementations sit behind ``begin``/``simulate``
+(:data:`ENGINES`, selected by ``ServingSimulator(engine=...)``):
+
+``engine="object"`` (default)
+    The reference discrete-event loop in this module — per-request
+    ``_InFlight`` objects, a cost-provider call per pass.  Always correct,
+    supports custom :class:`ServingPolicy` subclasses, comfortable up to
+    tens of thousands of requests.
+``engine="array"``
+    The vectorized fast core (:mod:`repro.serving.array_engine`): columnar
+    request state, decode costs from a dense per-(model, backend) lookup
+    table (:mod:`repro.serving.decode_table`), and macro-stepping that
+    prices whole runs of decode iterations from prefix sums.  Simulates a
+    day of production traffic — a million requests — in seconds.  With
+    ``record_events=True`` it takes the per-iteration path and reproduces
+    the object engine's event log *bit for bit*; macro-stepped runs match
+    pooled metrics to ~1e-9 (float accumulation order differs).  Requires
+    a registered policy (the four in :data:`POLICIES`) because policy
+    decisions are re-derived over columns.
 """
 
 from __future__ import annotations
@@ -118,7 +140,8 @@ import bisect
 import inspect
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Sequence
+from time import perf_counter
+from typing import Iterable, Sequence
 
 from repro.core.costmodel import CostModel, PassCost, diff_pass_cost, lerp_pass_cost
 from repro.energy.model import EnergyBreakdown
@@ -138,15 +161,21 @@ __all__ = [
     "POLICIES",
     "make_policy",
     "ADMISSION_MODES",
+    "ENGINES",
     "ServingMetrics",
     "SimulationRun",
     "ServingSimulator",
+    "decode_kv_bounds",
     "mean_service_time_s",
     "percentile",
 ]
 
 #: Admission-control modes of the simulator (see the module docstring).
 ADMISSION_MODES = ("worst-case", "optimistic")
+
+#: Simulation engines (see the module docstring): the reference
+#: object-graph loop, and the vectorized array core behind the same API.
+ENGINES = ("object", "array")
 
 #: Default number of KV-length anchors of the interpolating provider.
 DEFAULT_KV_SAMPLES = 9
@@ -161,9 +190,20 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not values:
         return 0.0
+    return _percentile_sorted(sorted(values), q)
+
+
+def _percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` over an already-sorted sequence.
+
+    Metric finalization computes several percentiles of the same value
+    list; sorting once and interpolating many times is the fast path
+    (:func:`percentile` used to re-sort per call).
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
+    if not ordered:
+        return 0.0
     position = q / 100.0 * (len(ordered) - 1)
     lower = int(position)
     upper = min(lower + 1, len(ordered) - 1)
@@ -197,6 +237,9 @@ class PassCostProvider:
         #: prepare() so a reused provider never mixes two grids.
         self._interp_costs: dict[int, PassCost] = {}
         self._anchors: list[int] = []
+        #: Dense decode tables keyed (kv_lo, kv_hi) — anchor-grid-dependent
+        #: like _interp_costs, cleared by prepare() with it.
+        self._tables: dict = {}
 
     # ------------------------------------------------------------------
     def prepare(self, kv_min: int, kv_max: int) -> None:
@@ -218,6 +261,7 @@ class PassCostProvider:
             )
         self._anchors = sorted(anchors)
         self._interp_costs.clear()
+        self._tables.clear()
 
     def prefill(self, input_tokens: int) -> PassCost:
         """Cost of the summarization (prefill) pass — always exact."""
@@ -266,6 +310,24 @@ class PassCostProvider:
             self._interp_costs[kv_length] = cost
         return cost
 
+    def decode_table(self, kv_lo: int, kv_hi: int):
+        """Dense ``kv -> cost`` table over ``[kv_lo, kv_hi]`` (array engine).
+
+        Built once per (model, backend, anchor grid) — every entry is
+        bit-identical to :meth:`decode` at that KV length, and the anchor
+        evaluations it triggers route through the backend's shared
+        (persistently cacheable) pass-cost cache.  Memoized until the next
+        :meth:`prepare`; see :mod:`repro.serving.decode_table`.
+        """
+        key = (kv_lo, kv_hi)
+        table = self._tables.get(key)
+        if table is None:
+            from repro.serving.decode_table import build_decode_table
+
+            table = build_decode_table(self, kv_lo, kv_hi)
+            self._tables[key] = table
+        return table
+
     def base(self) -> PassCost:
         """The KV-independent decode floor (``c(1)``): weights + overheads."""
         return self._decode_exact(1)
@@ -301,6 +363,18 @@ def _decode_kv_bounds(items) -> "tuple[int, int] | None":
     if not bounds:
         return None
     return min(bounds), max(bounds)
+
+
+def decode_kv_bounds(items) -> "tuple[int, int] | None":
+    """Public form of :func:`_decode_kv_bounds`.
+
+    Streaming callers cannot derive bounds from a trace they have not
+    materialized; pass the generator's *workloads* here instead (the mix
+    bounds cover every request drawn from it) and hand the result to
+    :meth:`ServingSimulator.simulate_stream` or
+    :meth:`ServingSimulator.begin`.
+    """
+    return _decode_kv_bounds(items)
 
 
 def mean_service_time_s(
@@ -732,6 +806,14 @@ class SimulationRun:
         #: Set by :meth:`fail` — a dead replica takes no work until recovery.
         self.dead = False
         self._last_until: "float | None" = None
+        #: Wall-time per simulator phase, populated when ``sim.profile``.
+        self.phase_s: dict[str, float] = {
+            "admit": 0.0,
+            "prefill": 0.0,
+            "decode": 0.0,
+            "metrics": 0.0,
+        }
+        self._step_kind = "decode"
 
     # ------------------------------------------------------------------
     def offer(self, request: Request) -> None:
@@ -758,6 +840,15 @@ class SimulationRun:
         self.offered += 1
         if self.first_arrival is None:
             self.first_arrival = request.arrival_s
+
+    def offer_many(self, requests) -> None:
+        """Offer a batch of requests in ``(arrival, id)`` order.
+
+        Semantically a loop over :meth:`offer`; the array engine overrides
+        this with a bulk path that hoists the guards out of the loop.
+        """
+        for request in requests:
+            self.offer(request)
 
     # ------------------------------------------------------------------
     # Router-visible state (read by the cluster layer between offers)
@@ -810,13 +901,23 @@ class SimulationRun:
                 return
             if until is not None and self.clock >= until:
                 return
-            self._admit()
+            if self.sim.profile:
+                start = perf_counter()
+                self._admit()
+                self.phase_s["admit"] += perf_counter() - start
+            else:
+                self._admit()
             if not self.active:
                 raise RuntimeError(
                     f"policy {self.sim.policy.name!r} left the device idle with "
                     f"{len(self.waiting)} admissible request(s) waiting"
                 )  # pragma: no cover - defensive, no shipped policy does this
-            self._step()
+            if self.sim.profile:
+                start = perf_counter()
+                self._step()
+                self.phase_s[self._step_kind] += perf_counter() - start
+            else:
+                self._step()
 
     def finish(self) -> ServingMetrics:
         """Drain all remaining work and return the run's metrics."""
@@ -828,6 +929,11 @@ class SimulationRun:
         makespan = (
             self.clock - self.first_arrival if self.first_arrival is not None else 0.0
         )
+        if self.sim.profile:
+            start = perf_counter()
+            metrics = self.sim._finalize(self, makespan)
+            self.phase_s["metrics"] += perf_counter() - start
+            return metrics
         return self.sim._finalize(self, makespan)
 
     # ------------------------------------------------------------------
@@ -934,6 +1040,7 @@ class SimulationRun:
                 )
 
         costs = [sim.provider.decode(f.next_kv_length) for f in batch]
+        self._step_kind = "prefill" if carrier is not None else "decode"
         latency, pass_energy, pass_flops = sim._fused_iteration(carrier, costs)
         self.clock += latency
         self.busy += latency
@@ -1177,6 +1284,22 @@ class ServingSimulator:
         ``preempt=False`` a decode that cannot grow stalls instead, and the
         simulator raises ``RuntimeError`` if the pool wedges completely.
         Ignored under worst-case admission, which never needs to grow.
+    engine:
+        ``"object"`` (default) or ``"array"`` — see the module docstring's
+        *Engines* section.  The array engine requires a registered policy
+        name/class (its decisions are re-derived over columns) and numpy.
+    profile:
+        Record a per-phase wall-time breakdown (``admit`` / ``prefill`` /
+        ``decode`` / ``metrics``) in ``run.phase_s`` — read it from
+        ``simulator.last_run`` after ``simulate``; ``repro serve
+        --profile`` prints it.
+    per_request_detail:
+        When ``False``, drop per-request :class:`RequestMetrics` from the
+        result (``per_request=()``) and let the array engine pool metrics
+        columnar-only — at a million requests materializing a metrics
+        object per request costs more than the whole simulation.  Pooled
+        aggregates are unaffected.  The cluster layer requires detail
+        (it re-pools per-request rows across replicas).
     """
 
     def __init__(
@@ -1195,6 +1318,9 @@ class ServingSimulator:
         slo_targets: "Sequence[float] | None" = None,
         admission: str = "worst-case",
         preempt: bool = True,
+        engine: str = "object",
+        profile: bool = False,
+        per_request_detail: bool = True,
     ) -> None:
         if not 0.0 <= batch_share <= 1.0:
             raise ValueError("batch_share must be in [0, 1]")
@@ -1204,6 +1330,10 @@ class ServingSimulator:
             raise ValueError(
                 f"admission must be one of {', '.join(ADMISSION_MODES)}; "
                 f"got {admission!r}"
+            )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
             )
         if slo_targets is not None:
             slo_targets = tuple(float(target) for target in slo_targets)
@@ -1229,6 +1359,17 @@ class ServingSimulator:
         self.kv_fraction = kv_fraction
         self.page_tokens = page_tokens
         self.kv_budget = kv_budget
+        self.engine = engine
+        self.profile = profile
+        self.per_request_detail = per_request_detail
+        if engine == "array" and type(self.policy) not in POLICIES.values():
+            known = ", ".join(cls.__name__ for cls in POLICIES.values())
+            raise ValueError(
+                f"engine 'array' re-derives policy decisions over columns and "
+                f"only supports the registered policies ({known}); got "
+                f"{type(self.policy).__name__} — use engine='object' for "
+                f"custom policies"
+            )
         self.provider = PassCostProvider(
             cost_model, model, exact=exact, kv_samples=kv_samples
         )
@@ -1236,6 +1377,9 @@ class ServingSimulator:
         self._new_accountant()
         #: Event log of the last ``simulate(record_events=True)`` run.
         self.events: "list[SimEvent] | None" = None
+        #: The run behind the last one-shot ``simulate``/``simulate_stream``
+        #: (profiling reads ``last_run.phase_s``).
+        self.last_run: "SimulationRun | None" = None
 
     def _new_accountant(self) -> KvPageAccountant:
         return KvPageAccountant.for_backend(
@@ -1255,10 +1399,16 @@ class ServingSimulator:
         """Start an incremental run (see :class:`SimulationRun`).
 
         ``kv_bounds`` fixes the decode interpolation anchors up front —
-        pass the :func:`_decode_kv_bounds` of everything the run will ever
+        pass the :func:`decode_kv_bounds` of everything the run will ever
         be offered (the cluster layer passes the whole trace's bounds, so a
         one-replica cluster prices passes identically to ``simulate``).
         """
+        if self.engine == "array":
+            from repro.serving.array_engine import ArraySimulationRun
+
+            return ArraySimulationRun(
+                self, record_events=record_events, kv_bounds=kv_bounds
+            )
         return SimulationRun(self, record_events=record_events, kv_bounds=kv_bounds)
 
     def simulate(
@@ -1270,8 +1420,40 @@ class ServingSimulator:
             record_events=record_events, kv_bounds=_decode_kv_bounds(ordered)
         )
         self.events = run.events
+        self.last_run = run
         for request in ordered:
             run.offer(request)
+        return run.finish()
+
+    def simulate_stream(
+        self,
+        chunks: "Iterable[Sequence[Request]]",
+        record_events: bool = False,
+        kv_bounds: "tuple[int, int] | None" = None,
+    ) -> ServingMetrics:
+        """Play a *streamed* trace to completion — O(active) memory.
+
+        ``chunks`` yields request batches in ``(arrival_s, request_id)``
+        order (:meth:`repro.serving.trace.TraceGenerator.generate_stream`
+        produces exactly this); each chunk is offered and the run advanced
+        to its last arrival before the next chunk is drawn, so no more
+        than one chunk of the trace is materialized at a time.  Offering
+        incrementally is metric-identical to the one-shot path (the
+        scheduler only acts at pass boundaries in both), which the
+        differential suite pins.
+
+        ``kv_bounds`` cannot be derived from an unmaterialized trace —
+        pass ``decode_kv_bounds(generator.workloads)`` (the mix-wide
+        bounds cover every request the generator can draw).  Without it
+        the provider prices decodes exactly, which is correct but slow.
+        """
+        run = self.begin(record_events=record_events, kv_bounds=kv_bounds)
+        self.events = run.events
+        self.last_run = run
+        for chunk in chunks:
+            if chunk:
+                run.offer_many(chunk)
+                run.advance_until(chunk[-1].arrival_s)
         return run.finish()
 
     # ------------------------------------------------------------------
@@ -1355,6 +1537,10 @@ class ServingSimulator:
         latencies = [metrics.latency_s for metrics in completed]
         ttfts = [metrics.ttft_s for metrics in completed]
         tpots = [metrics.tpot_s for metrics in completed if metrics.output_tokens > 1]
+        # Sort once per value list; percentiles interpolate over the same
+        # sorted copy (means stay over arrival order, as before).
+        ordered_latencies = sorted(latencies)
+        ordered_ttfts = sorted(ttfts)
         output_tokens = sum(metrics.output_tokens for metrics in completed)
         mean = lambda values: sum(values) / len(values) if values else 0.0  # noqa: E731
         slo_attainment: "float | None" = None
@@ -1388,11 +1574,11 @@ class ServingSimulator:
             tokens_per_s=output_tokens / makespan if makespan > 0 else 0.0,
             requests_per_s=len(completed) / makespan if makespan > 0 else 0.0,
             latency_mean_s=mean(latencies),
-            latency_p50_s=percentile(latencies, 50.0),
-            latency_p99_s=percentile(latencies, 99.0),
+            latency_p50_s=_percentile_sorted(ordered_latencies, 50.0),
+            latency_p99_s=_percentile_sorted(ordered_latencies, 99.0),
             ttft_mean_s=mean(ttfts),
-            ttft_p50_s=percentile(ttfts, 50.0),
-            ttft_p99_s=percentile(ttfts, 99.0),
+            ttft_p50_s=_percentile_sorted(ordered_ttfts, 50.0),
+            ttft_p99_s=_percentile_sorted(ordered_ttfts, 99.0),
             tpot_mean_s=mean(tpots),
             energy_j=energy.total_j,
             flops=flops,
@@ -1411,5 +1597,5 @@ class ServingSimulator:
             kv_budget_bytes=kv.budget_bytes,
             slo_attainment=slo_attainment,
             slo_by_class=slo_by_class,
-            per_request=tuple(completed),
+            per_request=tuple(completed) if self.per_request_detail else (),
         )
