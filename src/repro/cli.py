@@ -515,11 +515,6 @@ def _run_serve(args: argparse.Namespace) -> int:
         use_cluster = (
             args.replicas > 1 or failures is not None or autoscaler is not None
         )
-        if args.profile and use_cluster:
-            print("--profile times a single replica; it does not combine "
-                  "with --replicas > 1, --failures or --autoscaler",
-                  file=sys.stderr)
-            return 2
         try:
             if use_cluster:
                 cluster = ClusterSimulator(
@@ -528,6 +523,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                     router=args.router,
                     failures=failures,
                     autoscaler=autoscaler,
+                    profile=args.profile,
                     **simulator_kwargs,
                 )
                 metrics = cluster.simulate(trace, record_events=True)
@@ -548,13 +544,20 @@ def _run_serve(args: argparse.Namespace) -> int:
           f"{rate_rps:.3f} req/s (seed {args.seed}{curve_note})")
     print(metrics.summary())
     if args.profile:
-        phases = simulator.last_run.phase_s
-        breakdown = " | ".join(
-            f"{name} {phases[name]:.3f}s"
-            for name in ("admit", "prefill", "decode", "metrics")
-        )
+        if cluster is not None:
+            phases = cluster.pooled_phase_s()
+            scope = f"{args.engine}, pooled x{metrics.num_replicas}"
+        else:
+            phases = simulator.last_run.phase_s
+            scope = args.engine
+        names = [
+            name
+            for name in ("route", "admit", "absorb", "prefill", "decode", "metrics")
+            if name in phases
+        ]
+        breakdown = " | ".join(f"{name} {phases[name]:.3f}s" for name in names)
         total = trace_gen_s + sum(phases.values())
-        print(f"profile [{args.engine}] : trace-gen {trace_gen_s:.3f}s | "
+        print(f"profile [{scope}] : trace-gen {trace_gen_s:.3f}s | "
               f"{breakdown} | total {total:.3f}s")
     stats = backend.cache_stats()
     if stats:
@@ -653,6 +656,26 @@ def _run_list() -> int:
     print("autoscalers (`repro serve --autoscaler NAME[:key=value,...]`):")
     for name in AUTOSCALERS:
         print(f"  {name}")
+    print()
+    print("serving engines (`repro serve --engine`) x feature support:")
+    rows = [
+        ("feature", "object", "array"),
+        ("registered policies", "yes", "yes"),
+        ("custom Policy subclass", "yes", "no (object engine only)"),
+        ("exact pricing (--exact)", "yes", "yes (per-iteration, no macro steps)"),
+        ("cluster (--replicas/--router)", "yes", "yes"),
+        ("failure injection (--failures)", "yes", "yes"),
+        ("autoscaling (--autoscaler)", "yes", "yes"),
+        ("event log (--validate)", "yes", "yes (disables macro/batched fast paths)"),
+        ("arrival-batched underload path", "no", "yes (events off)"),
+        ("phase profile (--profile)", "yes", "yes"),
+    ]
+    width = max(len(row[0]) for row in rows)
+    for feature, object_support, array_support in rows:
+        print(f"  {feature:<{width}}  {object_support:<8} {array_support}")
+    print("  (unsupported combinations fall back or raise with the reason; "
+          "the array engine matches the object engine bit-for-bit with "
+          "events recorded, 1e-9 pooled on its fast paths)")
     return 0
 
 

@@ -73,10 +73,12 @@ from repro.perf.cache import (
     default_cache_dir,
     flush_disk_caches,
     global_baseline_cache,
+    global_decode_table_cache,
     global_pass_cache,
     install_disk_caches,
     resolve_pass_cache,
     set_global_baseline_cache,
+    set_global_decode_table_cache,
     set_global_pass_cache,
 )
 from repro.perf.runner import (
@@ -96,10 +98,12 @@ __all__ = [
     "default_cache_dir",
     "flush_disk_caches",
     "global_baseline_cache",
+    "global_decode_table_cache",
     "global_pass_cache",
     "install_disk_caches",
     "resolve_pass_cache",
     "set_global_baseline_cache",
+    "set_global_decode_table_cache",
     "set_global_pass_cache",
     "ExperimentTiming",
     "TimingReport",

@@ -47,6 +47,8 @@ __all__ = [
     "set_global_pass_cache",
     "global_baseline_cache",
     "set_global_baseline_cache",
+    "global_decode_table_cache",
+    "set_global_decode_table_cache",
     "install_disk_caches",
     "flush_disk_caches",
     "resolve_pass_cache",
@@ -395,6 +397,13 @@ _GLOBAL_CACHE = PassCostCache()
 #: the same way; kept separate so hit rates are reported per backend family.
 _GLOBAL_BASELINE_CACHE = PassCostCache()
 
+#: Process-wide cache for the array engine's dense decode-cost tables,
+#: keyed (backend fingerprint, model fingerprint, anchor grid, kv range)
+#: and holding plain-list column payloads (see
+#: :func:`repro.serving.decode_table.table_to_payload`).  Tables are a few
+#: hundred KB each, so the bound is much tighter than the pass caches'.
+_GLOBAL_DECODE_TABLE_CACHE = PassCostCache(maxsize=64)
+
 
 def global_pass_cache() -> PassCostCache:
     """The process-wide pass-cost cache."""
@@ -439,10 +448,25 @@ def set_global_baseline_cache(cache: PassCostCache) -> PassCostCache:
     return previous
 
 
+def global_decode_table_cache() -> PassCostCache:
+    """The process-wide decode-table payload cache."""
+    return _GLOBAL_DECODE_TABLE_CACHE
+
+
+def set_global_decode_table_cache(cache: PassCostCache) -> PassCostCache:
+    """Replace the process-wide decode-table cache (returns the previous)."""
+    global _GLOBAL_DECODE_TABLE_CACHE
+    previous = _GLOBAL_DECODE_TABLE_CACHE
+    _GLOBAL_DECODE_TABLE_CACHE = cache
+    return previous
+
+
 def install_disk_caches(
     directory: "str | os.PathLike | None" = None,
 ) -> "tuple[PersistentPassCostCache, PersistentPassCostCache]":
-    """Back both global caches with one persistent file; returns them.
+    """Back the global caches with one persistent file; returns the two
+    pass-cost caches (the decode-table cache rides along in its own section
+    of the same file).
 
     Idempotent for a given directory: if the globals are already persistent
     caches over the same file they are returned as-is (preserving their warm
@@ -451,24 +475,33 @@ def install_disk_caches(
     disk = DiskCacheFile(directory)
     current_pass = global_pass_cache()
     current_baseline = global_baseline_cache()
+    current_tables = global_decode_table_cache()
     if (
         isinstance(current_pass, PersistentPassCostCache)
         and isinstance(current_baseline, PersistentPassCostCache)
+        and isinstance(current_tables, PersistentPassCostCache)
         and current_pass.disk.path == disk.path
         and current_baseline.disk.path == disk.path
+        and current_tables.disk.path == disk.path
     ):
         return current_pass, current_baseline
     pass_cache = PersistentPassCostCache(disk, "ianus")
     baseline_cache = PersistentPassCostCache(disk, "baseline")
+    table_cache = PersistentPassCostCache(disk, "decode-tables", maxsize=64)
     set_global_pass_cache(pass_cache)
     set_global_baseline_cache(baseline_cache)
+    set_global_decode_table_cache(table_cache)
     return pass_cache, baseline_cache
 
 
 def flush_disk_caches() -> int:
-    """Flush both global caches if they are persistent; entries written."""
+    """Flush the global caches if they are persistent; entries written."""
     written = 0
-    for cache in (global_pass_cache(), global_baseline_cache()):
+    for cache in (
+        global_pass_cache(),
+        global_baseline_cache(),
+        global_decode_table_cache(),
+    ):
         if isinstance(cache, PersistentPassCostCache):
             written += cache.flush()
     return written

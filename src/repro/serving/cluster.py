@@ -806,12 +806,57 @@ class ClusterSimulator:
         assignments: list[list[Request]] = [[] for _ in runs]
         routed_tokens = [0] * len(runs)
         start = ordered[0].arrival_s if ordered else 0.0
+        self.route_s = 0.0
+        self._last_runs = runs
         ops: "_OpsState | None" = None
         if self._ops_active:
             ops = _OpsState(
                 self, runs, assignments, routed_tokens, start,
                 record_events, bounds,
             )
+            self._route_generic(ordered, runs, assignments, routed_tokens, ops)
+        else:
+            # Fixed fleets route through the array-native fast paths when
+            # the router's decision rule is known exactly; any Router
+            # subclass (including subclasses of the built-ins, which may
+            # override select) goes through the generic snapshot loop.
+            router_type = type(self.router)
+            if router_type is RoundRobinRouter:
+                self._route_round_robin(
+                    ordered, runs, assignments, routed_tokens
+                )
+            elif router_type in (LeastOutstandingTokensRouter, KvAwareRouter):
+                self._route_columnar(ordered, runs, assignments, routed_tokens)
+            else:
+                self._route_generic(
+                    ordered, runs, assignments, routed_tokens, None
+                )
+        if ops is not None:
+            ops.apply_until(None)
+        per_replica = tuple(run.finish() for run in runs)
+        self.events = [run.events for run in runs]
+        self.assignments = [tuple(assigned) for assigned in assignments]
+        self._last_trace = tuple(ordered)
+        return self._pool(per_replica, ordered, routed_tokens, ops)
+
+    # -- routing paths --------------------------------------------------
+    @property
+    def _profiling(self) -> bool:
+        return bool(self._simulator_kwargs.get("profile"))
+
+    def _route_generic(
+        self,
+        ordered: "list[Request]",
+        runs: "list[SimulationRun]",
+        assignments: "list[list[Request]]",
+        routed_tokens: "list[int]",
+        ops: "_OpsState | None",
+    ) -> None:
+        """The reference per-arrival loop: advance everything to each
+        arrival, snapshot the eligible replicas, ask the router."""
+        from time import perf_counter
+
+        profile = self._profiling
         for request in ordered:
             arrival = request.arrival_s
             if ops is not None:
@@ -831,6 +876,7 @@ class ClusterSimulator:
                 for run in runs:
                     run.advance_until(arrival)
                 candidates = list(range(len(runs)))
+            routed_at = perf_counter() if profile else 0.0
             snapshots = [
                 _snapshot(index, runs[index], assignments, routed_tokens)
                 for index in candidates
@@ -844,13 +890,112 @@ class ClusterSimulator:
             runs[choice].offer(request)
             assignments[choice].append(request)
             routed_tokens[choice] += request.total_tokens
-        if ops is not None:
-            ops.apply_until(None)
-        per_replica = tuple(run.finish() for run in runs)
-        self.events = [run.events for run in runs]
-        self.assignments = [tuple(assigned) for assigned in assignments]
-        self._last_trace = tuple(ordered)
-        return self._pool(per_replica, ordered, routed_tokens, ops)
+            if profile:
+                self.route_s += perf_counter() - routed_at
+
+    def _route_round_robin(
+        self,
+        ordered: "list[Request]",
+        runs: "list[SimulationRun]",
+        assignments: "list[list[Request]]",
+        routed_tokens: "list[int]",
+    ) -> None:
+        """Whole-trace bucketing for the round-robin router.
+
+        Round-robin is blind to replica state, so with a fixed fleet its
+        choice for the k-th arrival is ``k mod R`` no matter when the
+        decision is made — the entire trace buckets up front and each
+        replica plays its bucket independently through one
+        :meth:`~repro.serving.simulator.SimulationRun.offer_many`.  This
+        replaces ``R`` advances plus a snapshot build *per arrival* with
+        one bulk offer per replica; results are identical because a run's
+        outcome never depends on when (only in what order) its requests
+        were offered, which the cluster differential suite pins.
+        """
+        from time import perf_counter
+
+        routed_at = perf_counter() if self._profiling else 0.0
+        count = len(runs)
+        for index in range(count):
+            bucket = ordered[index::count]
+            runs[index].offer_many(bucket)
+            assignments[index].extend(bucket)
+            routed_tokens[index] = sum(
+                request.total_tokens for request in bucket
+            )
+        # Keep the rotation counter where the per-arrival loop would have
+        # left it, so external observers (and a later generic-path call on
+        # the same router instance) see the same state.
+        self.router._next += len(ordered)
+        if self._profiling:
+            self.route_s += perf_counter() - routed_at
+
+    def _route_columnar(
+        self,
+        ordered: "list[Request]",
+        runs: "list[SimulationRun]",
+        assignments: "list[list[Request]]",
+        routed_tokens: "list[int]",
+    ) -> None:
+        """Per-arrival routing over columnar replica state for the
+        built-in state-dependent routers.
+
+        Causality is identical to the generic loop — every replica with
+        live work is advanced to each arrival before the decision — but
+        the decision itself reads the two O(1) columns the built-in
+        routers score on (outstanding tokens, free KV pages) directly
+        from the runs instead of materializing a ``ReplicaSnapshot``
+        dataclass per replica per arrival, and idle replicas (nothing
+        queued or in flight — advancing them cannot change any
+        router-visible column) skip the advance call entirely.
+        """
+        from time import perf_counter
+
+        profile = self._profiling
+        lot = type(self.router) is LeastOutstandingTokensRouter
+        count = len(runs)
+        for request in ordered:
+            arrival = request.arrival_s
+            for run in runs:
+                if run.outstanding_requests:
+                    run.advance_until(arrival)
+            routed_at = perf_counter() if profile else 0.0
+            if lot:
+                best = 0
+                best_tokens = runs[0].outstanding_tokens
+                for index in range(1, count):
+                    tokens = runs[index].outstanding_tokens
+                    if tokens < best_tokens:
+                        best = index
+                        best_tokens = tokens
+            else:
+                best = 0
+                best_free = runs[0].kv.free_pages
+                for index in range(1, count):
+                    free = runs[index].kv.free_pages
+                    if free > best_free:
+                        best = index
+                        best_free = free
+            runs[best].offer(request)
+            assignments[best].append(request)
+            routed_tokens[best] += request.total_tokens
+            if profile:
+                self.route_s += perf_counter() - routed_at
+
+    def pooled_phase_s(self) -> dict[str, float]:
+        """Per-phase wall breakdown of the last ``simulate()``, pooled
+        across replicas, plus the cluster's own ``route`` phase.
+
+        Populated when the replicas were built with ``profile=True``
+        (``repro serve --profile`` arranges this); phases absent from an
+        engine are simply missing from the dict.
+        """
+        pooled: dict[str, float] = {}
+        for run in getattr(self, "_last_runs", ()):
+            for name, seconds in getattr(run, "phase_s", {}).items():
+                pooled[name] = pooled.get(name, 0.0) + seconds
+        pooled["route"] = getattr(self, "route_s", 0.0)
+        return pooled
 
     def validate_invariants(self) -> list[str]:
         """Replay the last run's event logs through the invariant checker.

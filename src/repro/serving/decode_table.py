@@ -40,7 +40,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DecodeCostTable", "build_decode_table"]
+__all__ = [
+    "DecodeCostTable",
+    "build_decode_table",
+    "table_to_payload",
+    "table_from_payload",
+]
 
 
 @dataclass(frozen=True)
@@ -154,14 +159,9 @@ def build_decode_table(provider, kv_lo: int, kv_hi: int) -> DecodeCostTable:
         raise ValueError("kv_hi must be at least kv_lo")
     if provider.exact:
         raise ValueError("exact providers price per KV length; no table to build")
-    if len(provider._anchors) < 2:
+    if kv_lo < kv_hi and len(provider._anchors) < 2:
         raise ValueError("provider has no anchor grid; call prepare() first")
 
-    anchors = np.asarray(provider._anchors, dtype=np.int64)
-    anchor_costs = [provider._decode_exact(int(anchor)) for anchor in anchors]
-    kv = np.arange(kv_lo, kv_hi + 1, dtype=np.int64)
-
-    columns = {}
     extractors = {
         "latency": lambda cost: cost.latency_s,
         "energy_memory": lambda cost: cost.energy.normal_memory_j,
@@ -169,9 +169,26 @@ def build_decode_table(provider, kv_lo: int, kv_hi: int) -> DecodeCostTable:
         "energy_npu": lambda cost: cost.energy.npu_cores_j,
         "flops": lambda cost: cost.flops,
     }
-    for name, extract in extractors.items():
-        values = np.asarray([extract(cost) for cost in anchor_costs], dtype=np.float64)
-        columns[name] = _interpolate_column(kv, anchors, values)
+    columns = {}
+    if kv_lo == kv_hi:
+        # Single-value KV range (e.g. prompt == max context, so every
+        # decode pass runs at one length): no interpolation structure is
+        # needed or available — price the one length through the
+        # provider's own decode path and emit a 1-row table.  A grid with
+        # fewer than two anchors is fine here; decode() falls back to
+        # exact pricing for it, and so do we.
+        cost = provider.decode(kv_lo)
+        for name, extract in extractors.items():
+            columns[name] = np.asarray([extract(cost)], dtype=np.float64)
+    else:
+        anchors = np.asarray(provider._anchors, dtype=np.int64)
+        anchor_costs = [provider._decode_exact(int(anchor)) for anchor in anchors]
+        kv = np.arange(kv_lo, kv_hi + 1, dtype=np.int64)
+        for name, extract in extractors.items():
+            values = np.asarray(
+                [extract(cost) for cost in anchor_costs], dtype=np.float64
+            )
+            columns[name] = _interpolate_column(kv, anchors, values)
 
     # decode() consults _exact_costs before interpolating, and prepare()
     # deliberately keeps exact prices across grids — mirror that override
@@ -208,6 +225,53 @@ def build_decode_table(provider, kv_lo: int, kv_hi: int) -> DecodeCostTable:
         base=base,
         floor_free=floor_free,
     )
+
+
+def table_to_payload(table: DecodeCostTable) -> dict:
+    """Plain-Python form of a table for the persistent cache layer.
+
+    The disk cache compares cached values with ``!=`` when merging and
+    pickles whole sections, so payloads stay numpy-free: five float lists,
+    the base tuple and the floor flag.  Round-trips bit-exactly —
+    ``float64 -> Python float -> float64`` is lossless.
+    """
+    return {
+        "kv_lo": table.kv_lo,
+        "kv_hi": table.kv_hi,
+        "latency": table.latency.tolist(),
+        "energy_memory": table.energy_memory.tolist(),
+        "energy_pim": table.energy_pim.tolist(),
+        "energy_npu": table.energy_npu.tolist(),
+        "flops": table.flops.tolist(),
+        "base": tuple(table.base),
+        "floor_free": table.floor_free,
+    }
+
+
+def table_from_payload(payload: dict) -> "DecodeCostTable | None":
+    """Rebuild a table from :func:`table_to_payload` output.
+
+    Returns ``None`` on any structural mismatch (wrong type, missing key,
+    column length inconsistent with the KV range) — a stale or corrupted
+    cache entry must degrade to a rebuild, never to a crash.
+    """
+    try:
+        table = DecodeCostTable(
+            kv_lo=int(payload["kv_lo"]),
+            kv_hi=int(payload["kv_hi"]),
+            latency=np.asarray(payload["latency"], dtype=np.float64),
+            energy_memory=np.asarray(payload["energy_memory"], dtype=np.float64),
+            energy_pim=np.asarray(payload["energy_pim"], dtype=np.float64),
+            energy_npu=np.asarray(payload["energy_npu"], dtype=np.float64),
+            flops=np.asarray(payload["flops"], dtype=np.float64),
+            base=tuple(payload["base"]),
+            floor_free=bool(payload["floor_free"]),
+        )
+    except Exception:  # noqa: BLE001 - corrupt cache entry means "rebuild"
+        return None
+    if len(table.base) != 5:
+        return None
+    return table
 
 
 def table_matches_provider(table: DecodeCostTable, provider, sample: int = 64) -> bool:

@@ -322,10 +322,59 @@ class PassCostProvider:
         key = (kv_lo, kv_hi)
         table = self._tables.get(key)
         if table is None:
-            from repro.serving.decode_table import build_decode_table
-
-            table = build_decode_table(self, kv_lo, kv_hi)
+            table = self._shared_table(kv_lo, kv_hi)
             self._tables[key] = table
+        return table
+
+    def _shared_table(self, kv_lo: int, kv_hi: int):
+        """Fetch or build a table via the process-wide (optionally
+        persistent) decode-table cache.
+
+        The shared key is ``(backend fingerprint, model fingerprint, anchor
+        grid, kv range)`` — everything the columns depend on *except* this
+        provider's exact-cost overrides, so the shared path is skipped
+        whenever a non-anchor KV length in range has been priced exactly
+        (the override would make the table provider-history-dependent).
+        When :func:`repro.perf.cache.install_disk_caches` is active the
+        payload persists across processes, amortizing cold-start builds the
+        same way pass costs already are.
+        """
+        from repro.perf.cache import config_fingerprint, global_decode_table_cache
+        from repro.serving.decode_table import (
+            build_decode_table,
+            table_from_payload,
+            table_to_payload,
+        )
+
+        backend_fp = getattr(self.cost_model, "config_fingerprint", None)
+        if backend_fp is None:
+            config = getattr(self.cost_model, "config", None)
+            if config is not None:
+                try:
+                    backend_fp = config_fingerprint(config)
+                except TypeError:
+                    backend_fp = None
+        anchors = tuple(self._anchors)
+        anchor_set = set(anchors)
+        overridden = any(
+            kv_lo <= kv <= kv_hi and kv not in anchor_set
+            for kv in self._exact_costs
+        )
+        if backend_fp is None or overridden:
+            return build_decode_table(self, kv_lo, kv_hi)
+        try:
+            model_fp = config_fingerprint(self.model)
+        except TypeError:
+            return build_decode_table(self, kv_lo, kv_hi)
+        shared = global_decode_table_cache()
+        shared_key = (backend_fp, model_fp, anchors, kv_lo, kv_hi)
+        payload = shared.get(shared_key)
+        if payload is not None:
+            table = table_from_payload(payload)
+            if table is not None:
+                return table
+        table = build_decode_table(self, kv_lo, kv_hi)
+        shared.put(shared_key, table_to_payload(table))
         return table
 
     def base(self) -> PassCost:
@@ -1421,8 +1470,7 @@ class ServingSimulator:
         )
         self.events = run.events
         self.last_run = run
-        for request in ordered:
-            run.offer(request)
+        run.offer_many(ordered)
         return run.finish()
 
     def simulate_stream(

@@ -346,10 +346,15 @@ class TestServeCliEngine:
         for phase in ("trace-gen", "admit", "prefill", "decode", "metrics"):
             assert phase in out
 
-    def test_profile_rejects_cluster(self, capsys):
-        code = main([*self.ARGS, "--profile", "--replicas", "2"])
-        assert code == 2
-        assert "--profile" in capsys.readouterr().err
+    def test_profile_covers_cluster_runs(self, capsys):
+        code = main([*self.ARGS, "--engine", "array", "--profile",
+                     "--replicas", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile [array, pooled x2]" in out
+        assert "route" in out
+        for phase in ("trace-gen", "admit", "prefill", "metrics"):
+            assert phase in out
 
     def test_engines_agree_from_the_cli(self, capsys):
         def report(engine):
