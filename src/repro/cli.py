@@ -21,7 +21,11 @@ Three sub-commands cover the common workflows without writing any Python:
     cluster of N identical replicas behind a request router
     (``--router``); ``--admission optimistic`` (or its shorthand
     ``--preempt``) commits only prompt pages and grows on demand with
-    preempt-and-recompute.  Reports TTFT / TPOT / latency percentiles /
+    preempt-and-recompute.  ``--prefix-share`` makes a fraction of the
+    trace share a common prompt prefix whose KV pages are reference-
+    counted across requests, and ``--swap`` preempts to host DRAM over a
+    modeled PCIe link (``--link-gbps``) instead of discarding and
+    recomputing.  Reports TTFT / TPOT / latency percentiles /
     tokens/s / utilization / KV-pool peak / preemption counts / SLO
     attainment plus pass-cost cache statistics.  ``--validate`` replays
     the event log(s) through the scheduling-invariant checker (with exact
@@ -220,6 +224,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "for autoscalers)")
     serve.add_argument("--requests", type=int, default=32,
                        help="number of requests in the trace")
+    serve.add_argument("--prefix-share", type=float, default=0.0,
+                       metavar="FRACTION",
+                       help="fraction of requests sharing a common prompt "
+                            "prefix whose KV pages are reference-counted "
+                            "across requests (default 0 = no sharing)")
+    serve.add_argument("--prefix-tokens", type=int, default=None,
+                       help="length of each shared prefix in tokens "
+                            "(default: the trace generator's mean prompt)")
+    serve.add_argument("--prefix-groups", type=int, default=1,
+                       help="number of distinct shared prefixes sharing "
+                            "requests are spread over (default 1)")
+    serve.add_argument("--swap", action="store_true",
+                       help="preempt by swapping cold KV pages to host DRAM "
+                            "over a modeled PCIe link instead of discarding "
+                            "and recomputing (implies --admission optimistic)")
+    serve.add_argument("--link-gbps", type=float, default=16.0,
+                       help="host link bandwidth in Gbit/s for --swap "
+                            "transfers (default 16)")
     serve.add_argument("--seed", type=int, default=0, help="trace seed")
     serve.add_argument("--classes", type=int, default=1,
                        help="priority classes assigned uniformly by the "
@@ -421,6 +443,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.chunk_tokens < 0:
         print("--chunk-tokens must be non-negative", file=sys.stderr)
         return 2
+    if not 0.0 <= args.prefix_share <= 1.0:
+        print("--prefix-share must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.prefix_tokens is not None and args.prefix_tokens < 1:
+        print("--prefix-tokens must be at least 1", file=sys.stderr)
+        return 2
+    if args.prefix_groups < 1:
+        print("--prefix-groups must be at least 1", file=sys.stderr)
+        return 2
+    if not 0.0 < args.link_gbps < float("inf"):
+        # Catches nan (every comparison false) and +/-inf as well as <= 0.
+        print("--link-gbps must be a positive finite bandwidth in Gbit/s",
+              file=sys.stderr)
+        return 2
     if args.classes < 1:
         print("--classes must be at least 1", file=sys.stderr)
         return 2
@@ -469,8 +505,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         print("--preempt and --no-preempt contradict each other",
               file=sys.stderr)
         return 2
+    if args.swap and args.admission == "worst-case":
+        print("--swap needs optimistic admission (worst-case never "
+              "oversubscribes, so there is nothing to swap); it "
+              "contradicts --admission worst-case", file=sys.stderr)
+        return 2
     admission = args.admission or (
-        "optimistic" if args.preempt else "worst-case"
+        "optimistic" if (args.preempt or args.swap) else "worst-case"
     )
     if not args.no_disk_cache:
         install_disk_caches(args.cache_dir)
@@ -493,7 +534,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         trace_start = perf_counter()
         trace = generator.generate(
             args.requests, rate_rps, seed=args.seed, num_classes=args.classes,
-            curve=curve,
+            curve=curve, prefix_share=args.prefix_share,
+            prefix_tokens=args.prefix_tokens,
+            prefix_groups=args.prefix_groups,
         )
         trace_gen_s = perf_counter() - trace_start
         simulator_kwargs = dict(
@@ -507,6 +550,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             slo_targets=slo_targets,
             admission=admission,
             preempt=not args.no_preempt,
+            swap=args.swap,
+            link_gbps=args.link_gbps,
             engine=args.engine,
         )
         cluster = None
@@ -667,7 +712,9 @@ def _run_list() -> int:
         ("failure injection (--failures)", "yes", "yes"),
         ("autoscaling (--autoscaler)", "yes", "yes"),
         ("event log (--validate)", "yes", "yes (disables macro/batched fast paths)"),
-        ("arrival-batched underload path", "no", "yes (events off)"),
+        ("prefix sharing (--prefix-share)", "yes", "yes (exact-accounting mode)"),
+        ("host-DRAM swap (--swap)", "yes", "yes (exact-accounting mode)"),
+        ("arrival-batched underload path", "no", "yes (events off, no sharing/swap)"),
         ("phase profile (--profile)", "yes", "yes"),
     ]
     width = max(len(row[0]) for row in rows)

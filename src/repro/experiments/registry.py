@@ -26,6 +26,7 @@ from repro.experiments import (
     fig15_sensitivity,
     fig17_scalability,
     fig18_strong_scaling,
+    kv_hierarchy,
     prototype_validation,
     serving_throughput,
     tables,
@@ -68,6 +69,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
         "production ops: failures x failover x autoscaling x traffic curves",
         chaos_ops.run,
     ),
+    "kv-hierarchy": (
+        "KV page hierarchy: prefix sharing x swap-vs-recompute frontier",
+        kv_hierarchy.run,
+    ),
     "cost": ("performance/TDP cost analysis", cost_analysis.run),
     "prototype": ("functional validation (FPGA-prototype stand-in)", prototype_validation.run),
     "ablation-overlap": ("scheduling overlap ablation", ablations.run_overlap_ablation),
@@ -94,6 +99,7 @@ SWEEPS: dict[str, Callable[..., Sweep]] = {
     "serving": serving_throughput.sweep,
     "cluster": cluster_serving.sweep,
     "chaos": chaos_ops.sweep,
+    "kv-hierarchy": kv_hierarchy.sweep,
     "ablation-overlap": ablations.overlap_sweep,
     "ablation-address-mapping": ablations.address_mapping_sweep,
     "ablation-fast-mode": ablations.fast_vs_exact_sweep,

@@ -39,6 +39,16 @@ additions, which is why macro-stepped aggregate metrics are pinned to
 macro-stepping, and the per-iteration path then yields an event log
 **bit-identical** to the object engine's (the differential suite asserts
 exact equality).
+
+**Exact-accounting fallback.**  Shared-prefix requests (``prefix_id >=
+0``) and the host-DRAM swap tier need the real reference-counted
+:class:`~repro.serving.kv_memory.KvPageAccountant` — integer counters
+cannot express "these pages are held once for many requests" or "these
+pages are parked off-device".  The run then keeps the accountant as
+``self.kv``, the vectorized fast paths (absorption, bursts,
+macro-stepping) stand down, and the per-iteration loop mirrors the
+object engine operation for operation, so event logs stay bit-identical
+there too.  Traces with no sharing and no swap never pay for any of it.
 """
 
 from __future__ import annotations
@@ -95,6 +105,24 @@ class _KvPool:
     def free_pages(self) -> int:
         return self.total_pages - self.reserved_pages
 
+    def commit(self, pages: int) -> None:
+        """Reserve ``pages`` and roll the high-water mark — the single
+        commit hook (every fast path used to inline this pair)."""
+        self.reserved_pages += pages
+        if self.reserved_pages > self.peak_reserved_pages:
+            self.peak_reserved_pages = self.reserved_pages
+
+    def note_peak(self, pages: int) -> None:
+        """Roll the high-water mark for work applied in closed form (the
+        absorbers complete requests without ever holding their pages)."""
+        if pages > self.peak_reserved_pages:
+            self.peak_reserved_pages = pages
+
+    def resident_prefix_pages(self, prefix_id: int) -> int:
+        """Interface parity with the accountant: the integer pool only
+        serves runs with no sharing, where no prefix is ever resident."""
+        return 0
+
 
 class ArraySimulationRun:
     """Columnar drop-in for :class:`~repro.serving.simulator.SimulationRun`."""
@@ -104,6 +132,12 @@ class ArraySimulationRun:
     #: per-arrival reference path with a subclass or instance override.
     arrival_batching = True
 
+    #: Use ``np.searchsorted`` for the burst runner's lone-request budget
+    #: bisect (byte-identical to the scalar bisect — the prefix-sum
+    #: differences are the same IEEE subtractions; the suite pins it).
+    #: Instance-overridable so the pin can run both paths.
+    vector_bisect = True
+
     def __init__(
         self,
         sim,
@@ -112,11 +146,20 @@ class ArraySimulationRun:
     ) -> None:
         self.sim = sim
         accountant = sim._new_accountant()
-        self.kv = _KvPool(
-            page_tokens=accountant.page_tokens,
-            total_pages=accountant.total_pages,
-            budget_bytes=accountant.budget_bytes,
-        )
+        #: Exact-accounting mode: with the swap tier (or once a
+        #: shared-prefix request is offered) the run keeps the real
+        #: reference-counting accountant and the vectorized fast paths
+        #: stand down — the per-iteration loop then mirrors the object
+        #: engine operation for operation (see the module docstring).
+        self._exact_kv = bool(sim.swap)
+        if self._exact_kv:
+            self.kv = accountant
+        else:
+            self.kv = _KvPool(
+                page_tokens=accountant.page_tokens,
+                total_pages=accountant.total_pages,
+                budget_bytes=accountant.budget_bytes,
+            )
         self.events: "list[SimEvent] | None" = [] if record_events else None
         if kv_bounds is not None:
             sim.provider.prepare(*kv_bounds)
@@ -147,6 +190,8 @@ class ArraySimulationRun:
         self._generated: list = []
         self._first: list = []
         self._held: list = []
+        self._pfx: list = []
+        self._pft: list = []
         self._free: list = []
         # Typed shadows of the immutable-per-row columns (arrival, prompt,
         # output).  They expose the buffer protocol, so the arrival
@@ -163,6 +208,9 @@ class ArraySimulationRun:
         # admission — quadratic overall.
         self.waiting: "deque[int]" = deque()
         self.active: "list[int]" = []
+        #: Swapped-out rows, oldest first; their private KV pages live in
+        #: host DRAM and their progress survives until swap-in.
+        self.swapped: "list[int]" = []
         #: Active rows still prefilling (generated == 0), maintained
         #: incrementally so the macro-eligibility test is O(1).
         self._num_prefilling = 0
@@ -198,6 +246,9 @@ class ArraySimulationRun:
         self.peak_active = 0
         self.preemptions = 0
         self.recomputed_tokens = 0
+        self.swap_outs = 0
+        self.swap_ins = 0
+        self.swapped_pages_total = 0
         self.offered = 0
         self._outstanding = 0
         self.first_arrival: "float | None" = None
@@ -245,6 +296,7 @@ class ArraySimulationRun:
             self.arrival_batching
             and self.events is None
             and sim.chunk_tokens == 0
+            and not self._exact_kv
             and (self._floor_free or self._lat is None)
         )
         # _fcfs_absorb: concurrency-1 arrival-order service is a Lindley
@@ -327,6 +379,8 @@ class ArraySimulationRun:
             self._generated[row] = 0
             self._first[row] = 0.0
             self._held[row] = 0
+            self._pfx[row] = request.prefix_id
+            self._pft[row] = request.prefix_tokens
             return row
         row = len(self._arr)
         self._arr.append(request.arrival_s)
@@ -341,6 +395,8 @@ class ArraySimulationRun:
         self._generated.append(0)
         self._first.append(0.0)
         self._held.append(0)
+        self._pfx.append(request.prefix_id)
+        self._pft.append(request.prefix_tokens)
         return row
 
     def _request(self, row: int) -> Request:
@@ -350,6 +406,8 @@ class ArraySimulationRun:
             input_tokens=self._inp[row],
             output_tokens=self._out[row],
             priority_class=self._cls[row],
+            prefix_id=self._pfx[row],
+            prefix_tokens=self._pft[row],
         )
 
     def _pages_for(self, tokens: int) -> int:
@@ -379,6 +437,8 @@ class ArraySimulationRun:
                 raise ValueError(
                     "requests must be offered in (arrival_s, request_id) order"
                 )
+        if request.prefix_id >= 0 and not self._exact_kv:
+            self._ensure_exact_kv()
         pending.append(self._new_row(request))
         self.offered += 1
         self._outstanding += request.input_tokens + request.output_tokens
@@ -416,6 +476,8 @@ class ArraySimulationRun:
         generated = self._generated
         first = self._first
         held = self._held
+        pfx = self._pfx
+        pft = self._pft
         free = self._free
         pop = free.pop
         is_decoder = self._is_decoder
@@ -441,6 +503,8 @@ class ArraySimulationRun:
                     "requests must be offered in (arrival_s, request_id) order"
                 )
             last_key = key
+            if request.prefix_id >= 0 and not self._exact_kv:
+                self._ensure_exact_kv()
             input_tokens = request.input_tokens
             if free:
                 row = pop()
@@ -456,6 +520,8 @@ class ArraySimulationRun:
                 generated[row] = 0
                 first[row] = 0.0
                 held[row] = 0
+                pfx[row] = request.prefix_id
+                pft[row] = request.prefix_tokens
             else:
                 row = len(arr)
                 arr.append(arrival)
@@ -470,6 +536,8 @@ class ArraySimulationRun:
                 generated.append(0)
                 first.append(0.0)
                 held.append(0)
+                pfx.append(request.prefix_id)
+                pft.append(request.prefix_tokens)
             push(row)
             added += 1
             outstanding += input_tokens + output_tokens
@@ -512,6 +580,9 @@ class ArraySimulationRun:
                 "for it must be summarization-only (output_tokens == 1)"
             )
         inps = [r.input_tokens for r in requests]
+        pfxs = [r.prefix_id for r in requests]
+        if not self._exact_kv and max(pfxs) >= 0:
+            self._ensure_exact_kv()
         n = len(requests)
         row0 = len(self._arr)
         self._arr += arrs
@@ -523,6 +594,8 @@ class ArraySimulationRun:
         self._generated += [0] * n
         self._first += [0.0] * n
         self._held += [0] * n
+        self._pfx += pfxs
+        self._pft += [r.prefix_tokens for r in requests]
         self._arr_t.frombytes(np_arr.tobytes())
         np_inp = np.array(inps, dtype=np.int64)
         np_out = np.array(outs, dtype=np.int64)
@@ -534,10 +607,32 @@ class ArraySimulationRun:
         if self.first_arrival is None:
             self.first_arrival = arrs[0]
 
+    def _ensure_exact_kv(self) -> None:
+        """Switch to the reference-counting accountant (first shared-prefix
+        request seen).  Current holdings carry over: every active row's
+        private pages become accountant reservations — the fast paths
+        maintained ``reserved_pages == sum(active holdings)``, so the
+        pool-wide count is unchanged — and the high-water mark survives.
+        """
+        if self._exact_kv:
+            return
+        accountant = self.sim._new_accountant()
+        rid, held = self._rid, self._held
+        for row in self.active:
+            accountant._reserved[rid[row]] = held[row]
+        accountant.peak_reserved_pages = self.kv.peak_reserved_pages
+        self.kv = accountant
+        self._exact_kv = True
+
     @property
     def outstanding_requests(self) -> int:
         """Requests routed here and not yet completed."""
-        return len(self.pending) + len(self.waiting) + len(self.active)
+        return (
+            len(self.pending)
+            + len(self.waiting)
+            + len(self.active)
+            + len(self.swapped)
+        )
 
     @property
     def outstanding_tokens(self) -> int:
@@ -736,14 +831,17 @@ class ArraySimulationRun:
         arr = self._arr
         waiting = self.waiting
         active = self.active
+        swapped = self.swapped
         pending = self.pending
         cap = self._policy_cap
-        macro_ok = self.events is None and self._floor_free
-        absorb_ok = self._absorb_ok
+        # Exact mode (sharing/swap) may have been entered by an offer since
+        # the last advance; the fast paths stand down from then on.
+        macro_ok = self.events is None and self._floor_free and not self._exact_kv
+        absorb_ok = self._absorb_ok and not self._exact_kv
         while True:
             while pending and arr[pending[0]] <= self.clock:
                 waiting.append(pending.popleft())
-            if not waiting and not active:
+            if not waiting and not active and not swapped:
                 # Idle device, future arrivals only: the underload fast
                 # path serves whole arrival windows in closed form and
                 # falls back here the moment a window element needs the
@@ -765,9 +863,9 @@ class ArraySimulationRun:
             if until is not None and self.clock >= until:
                 return
             # _admit's own loop condition, checked inline: with a full
-            # batch or an empty queue the call would be a no-op, and this
-            # loop runs once per pass.
-            if waiting and len(active) < cap:
+            # batch or an empty (waiting + swapped) queue the call would
+            # be a no-op, and this loop runs once per pass.
+            if (waiting or swapped) and len(active) < cap:
                 if profile:
                     start = perf_counter()
                     self._admit()
@@ -799,6 +897,23 @@ class ArraySimulationRun:
 
     # ------------------------------------------------------------------
     def _admit(self) -> None:
+        if self._exact_kv:
+            # Mirror of the object engine's _admit: swapped requests come
+            # back first (they hold completed work a recompute would
+            # repay), then new admissions; when the device is idle with
+            # the pool pinned by resident shared-prefix pages, sacrifice
+            # the youngest swapped request for recompute until the oldest
+            # fits again (each round shrinks the swap set, and a lone
+            # swapped request always fits — fits_alone held at admission).
+            self._swap_in_ready()
+            self._admit_exact()
+            while not self.active and self.swapped:
+                if self.kv.can_swap_in(self._rid[self.swapped[0]]):
+                    self._swap_in_head()
+                else:
+                    self._preempt_swapped(len(self.swapped) - 1)
+                self._admit_exact()
+            return
         kv = self.kv
         waiting, active = self.waiting, self.active
         optimistic = self._optimistic
@@ -822,9 +937,7 @@ class ArraySimulationRun:
             )
             if pages > kv.free_pages:
                 break
-            kv.reserved_pages += pages
-            if kv.reserved_pages > kv.peak_reserved_pages:
-                kv.peak_reserved_pages = kv.reserved_pages
+            kv.commit(pages)
             self._held[row] = pages
             if index == 0:
                 waiting.popleft()
@@ -837,6 +950,129 @@ class ArraySimulationRun:
                 self.peak_active = len(active)
             if self.events is not None:
                 self._emit("admit", request_id=self._rid[row], tokens=pages)
+
+    def _admit_exact(self) -> None:
+        """Admission through the reference-counting accountant — the row
+        twin of the object engine's ``_admit_waiting`` (shared-prefix
+        requests charge only their unique new pages)."""
+        kv = self.kv
+        waiting, active = self.waiting, self.active
+        optimistic = self._optimistic
+        cap = self._policy_cap
+        arrival_order = self._arrival_order
+        while waiting and len(active) < cap:
+            index = 0 if arrival_order else self._admit_index(waiting)
+            row = waiting[index]
+            total = self._inp[row] + self._out[row]
+            if not kv.fits_alone(total):
+                raise ValueError(
+                    f"request {self._rid[row]} needs "
+                    f"{kv.pages_for(total)} KV pages but the "
+                    f"pool holds {kv.total_pages}; it can never be served "
+                    f"(raise kv_fraction or the budget)"
+                )
+            commit_tokens = self._inp[row] if optimistic else total
+            if not kv.can_reserve(commit_tokens, self._pfx[row], self._pft[row]):
+                break
+            pages = kv.reserve(
+                self._rid[row], commit_tokens, self._pfx[row], self._pft[row]
+            )
+            if index == 0:
+                waiting.popleft()
+            else:
+                del waiting[index]
+            active.append(row)
+            self._num_prefilling += 1
+            self.admissions += 1
+            if len(active) > self.peak_active:
+                self.peak_active = len(active)
+            self._emit("admit", request_id=self._rid[row], tokens=pages)
+
+    def _swap_in_ready(self) -> None:
+        """Restore swapped-out rows, oldest first, while they fit."""
+        cap = self._policy_cap
+        while self.swapped and len(self.active) < cap:
+            if not self.kv.can_swap_in(self._rid[self.swapped[0]]):
+                break
+            self._swap_in_head()
+
+    def _swap_in_head(self) -> None:
+        """Pay the link transfer and re-activate the oldest swapped row."""
+        row = self.swapped.pop(0)
+        request_id = self._rid[row]
+        pages = self.kv.swap_in(request_id)
+        latency = self._swap_latency(pages)
+        self.clock += latency
+        self.busy += latency
+        self.active.append(row)
+        if self._generated[row] == 0:
+            self._num_prefilling += 1
+        self.swap_ins += 1
+        self.swapped_pages_total += pages
+        if len(self.active) > self.peak_active:
+            self.peak_active = len(self.active)
+        self._emit("swap_in", latency=latency, request_id=request_id, tokens=pages)
+
+    def _swap_out(self, victim: int) -> None:
+        """Move a victim row's private pages to host DRAM over the link
+        (its prefill/decode progress survives; it resumes via swap-in)."""
+        request_id = self._rid[victim]
+        pages = self.kv.swap_out(request_id)
+        self.active.remove(victim)
+        if self._generated[victim] == 0:
+            self._num_prefilling -= 1
+        latency = self._swap_latency(pages)
+        self.clock += latency
+        self.busy += latency
+        self.swapped.append(victim)
+        self.swap_outs += 1
+        self.swapped_pages_total += pages
+        if self.swap_outs > 50 * max(self.offered, 1):  # pragma: no cover
+            raise RuntimeError(
+                f"swap livelock: {self.swap_outs} swap-outs over "
+                f"{self.offered} offered request(s)"
+            )
+        self._emit(
+            "swap_out", latency=latency, request_id=request_id, tokens=pages
+        )
+
+    def _preempt_swapped(self, index: int) -> None:
+        """Preempt a swapped-out row: discard its host copy, recompute.
+
+        The last-resort path when resident shared-prefix pages pin the
+        pool — releasing the row drops its prefix reference, freeing the
+        shared pages once the last member leaves.
+        """
+        victim = self.swapped.pop(index)
+        request_id = self._rid[victim]
+        pages = self.kv.release(request_id)
+        self._held[victim] = 0
+        self.preemptions += 1
+        lost = self._prefilled[victim] + self._generated[victim]
+        self.recomputed_tokens += lost
+        self._outstanding += lost
+        if self.preemptions > 50 * max(self.offered, 1):  # pragma: no cover
+            raise RuntimeError(
+                f"preemption livelock: {self.preemptions} preemptions over "
+                f"{self.offered} offered request(s)"
+            )
+        self._prefilled[victim] = 0
+        self._generated[victim] = 0
+        self._first[victim] = 0.0
+        self._requeue(victim)
+        self._emit("preempt", request_id=request_id, tokens=pages)
+
+    def _swap_latency(self, pages: int) -> float:
+        """Transfer time of ``pages`` KV pages over the host link."""
+        return pages * self.kv.page_bytes * 8.0 / (self.sim.link_gbps * 1e9)
+
+    def _release_pages(self, row: int) -> None:
+        """Return a completed/failed row's pages to the pool (both modes)."""
+        if self._exact_kv:
+            self.kv.release(self._rid[row])
+        else:
+            self.kv.reserved_pages -= self._held[row]
+        self._held[row] = 0
 
     def _step(self) -> None:
         """One device iteration — the per-iteration (bit-exact) path."""
@@ -889,10 +1125,16 @@ class ArraySimulationRun:
             if carrier is None and not batch:
                 head = requested[0]
                 kv = self.kv
-                held = self._held[head]
-                need = (
-                    self._pages_for(self._inp[head] + generated[head]) - held
-                )
+                if self._exact_kv:
+                    held = kv.held_pages(self._rid[head])
+                    need = kv.grow_need(
+                        self._rid[head], self._inp[head] + generated[head]
+                    )
+                else:
+                    held = self._held[head]
+                    need = (
+                        self._pages_for(self._inp[head] + generated[head]) - held
+                    )
                 raise RuntimeError(
                     "KV pool exhausted with preemption disabled: request "
                     f"{self._rid[head]} holds {held} page(s) and "
@@ -945,8 +1187,7 @@ class ArraySimulationRun:
                 finished.append(r)
         for r in finished:
             self.active.remove(r)
-            self.kv.reserved_pages -= self._held[r]
-            self._held[r] = 0
+            self._release_pages(r)
             self._record_completion(r)
             self._emit("complete", request_id=self._rid[r])
 
@@ -972,8 +1213,7 @@ class ArraySimulationRun:
         self._first[row] = clock
         if self._out[row] <= 1:
             self.active.remove(row)
-            self.kv.reserved_pages -= self._held[row]
-            self._held[row] = 0
+            self._release_pages(row)
             self._record_completion(row)
 
     # ------------------------------------------------------------------
@@ -1128,9 +1368,7 @@ class ArraySimulationRun:
                     grown += pages - held[row]
                     held[row] = pages
             if grown:
-                kv.reserved_pages += grown
-                if kv.reserved_pages > kv.peak_reserved_pages:
-                    kv.peak_reserved_pages = kv.reserved_pages
+                kv.commit(grown)
         if finished is not None:
             for row in finished:
                 active.remove(row)
@@ -1349,9 +1587,7 @@ class ArraySimulationRun:
                 )
             else:
                 peak_pages = total_pages[idx]
-            peak = int(peak_pages.max())
-            if peak > kv.peak_reserved_pages:
-                kv.peak_reserved_pages = peak
+            kv.note_peak(int(peak_pages.max()))
             dsum = int(steps[idx].sum())
             self.decode_passes += dsum
             self.decode_tokens += dsum
@@ -1453,8 +1689,7 @@ class ArraySimulationRun:
                 peak_pages = (
                     -(-i_tok // page_tokens) if optimistic else total_pages
                 )
-            if peak_pages > kv.peak_reserved_pages:
-                kv.peak_reserved_pages = peak_pages
+            kv.note_peak(peak_pages)
             self.admissions += 1
             if not self.peak_active:
                 self.peak_active = 1
@@ -1540,9 +1775,7 @@ class ArraySimulationRun:
                     bail = True  # KV-blocked: generic loop stalls it
                     break
                 pending.popleft()
-                kv.reserved_pages += total_pages
-                if kv.reserved_pages > kv.peak_reserved_pages:
-                    kv.peak_reserved_pages = kv.reserved_pages
+                kv.commit(total_pages)
                 held[row] = total_pages
                 active.append(row)
                 num_pref += 1
@@ -1612,24 +1845,44 @@ class ArraySimulationRun:
                 if budget is None or arrival_budget < budget:
                     budget = arrival_budget
             if budget is not None and steps * batch_size * lat_max >= budget:
-                lat_start = 0.0
-                total = 0.0
-                for off in offsets:
-                    lat_start += plat[off]
-                    total += plat[off + steps]
-                if total - lat_start - steps * shared_lat >= budget:
-                    low, high = 0, steps
-                    while high - low > 1:
-                        mid = (low + high) // 2
-                        elapsed = 0.0
-                        for off in offsets:
-                            elapsed += plat[off + mid]
-                        elapsed = elapsed - lat_start - mid * shared_lat
-                        if elapsed < budget:
-                            low = mid
-                        else:
-                            high = mid
-                    steps = high
+                if batch_size == 1 and self.vector_bisect:
+                    # Lone request: shared_lat is exactly 0.0, so
+                    # elapsed(j) is the plain prefix-sum difference
+                    # plat[off + j] - plat[off] and the scalar bisect's
+                    # answer — the smallest j with elapsed(j) >= budget —
+                    # is one vectorized subtract + searchsorted away.
+                    # Same IEEE ops on the same floats (the numpy prefix
+                    # twins hold the cumsum prefix_sums() listified), so
+                    # the cut lands on the same step: byte-identical.
+                    off = offsets[0]
+                    lat_start = plat[off]
+                    if plat[off + steps] - lat_start >= budget:
+                        diffs = (
+                            self._np_prefix[0][off : off + steps + 1]
+                            - lat_start
+                        )
+                        steps = int(
+                            np.searchsorted(diffs, budget, side="left")
+                        )
+                else:
+                    lat_start = 0.0
+                    total = 0.0
+                    for off in offsets:
+                        lat_start += plat[off]
+                        total += plat[off + steps]
+                    if total - lat_start - steps * shared_lat >= budget:
+                        low, high = 0, steps
+                        while high - low > 1:
+                            mid = (low + high) // 2
+                            elapsed = 0.0
+                            for off in offsets:
+                                elapsed += plat[off + mid]
+                            elapsed = elapsed - lat_start - mid * shared_lat
+                            if elapsed < budget:
+                                low = mid
+                            else:
+                                high = mid
+                        steps = high
             j = steps
             sum_lat = 0.0
             sum_em = 0.0
@@ -1692,6 +1945,8 @@ class ArraySimulationRun:
     def _grow_batch(
         self, batch: "list[int]", carrier_row: "int | None"
     ) -> "list[int]":
+        if self._exact_kv:
+            return self._grow_batch_exact(batch, carrier_row)
         kv = self.kv
         granted: list[int] = []
         protected: set[int] = set()
@@ -1713,10 +1968,48 @@ class ArraySimulationRun:
                     self._preempt(victim)
             if need <= kv.free_pages:
                 if need > 0:
-                    kv.reserved_pages += need
-                    if kv.reserved_pages > kv.peak_reserved_pages:
-                        kv.peak_reserved_pages = kv.reserved_pages
+                    kv.commit(need)
                     self._held[row] += need
+                granted.append(row)
+                protected.add(row)
+        return granted
+
+    def _grow_batch_exact(
+        self, batch: "list[int]", carrier_row: "int | None"
+    ) -> "list[int]":
+        """Row twin of the object engine's ``_grow_batch``: grants route
+        through the accountant (shared pages never grow), and with the
+        swap tier a victim's pages move to host DRAM instead of being
+        thrown away — preempting a swapped row stays the last resort when
+        resident shared-prefix pages pin the pool."""
+        kv = self.kv
+        sim = self.sim
+        rid = self._rid
+        granted: list[int] = []
+        protected: set[int] = set()
+        if carrier_row is not None:
+            protected.add(carrier_row)
+        for row in batch:
+            if row not in self.active:
+                continue  # evicted by an earlier member's growth
+            tokens = self._inp[row] + self._generated[row]
+            need = kv.grow_need(rid[row], tokens)
+            if need > 0 and need > kv.free_pages and (sim.swap or sim.preempt):
+                protected.add(row)
+                while need > kv.free_pages:
+                    victim = self._choose_victim(protected)
+                    if victim is not None:
+                        if sim.swap:
+                            self._swap_out(victim)
+                        else:
+                            self._preempt(victim)
+                        continue
+                    if sim.swap and self.swapped:
+                        self._preempt_swapped(len(self.swapped) - 1)
+                        continue
+                    break  # everyone left is protected: stall, not deadlock
+            if need <= kv.free_pages:
+                kv.grow(rid[row], tokens)
                 granted.append(row)
                 protected.add(row)
         return granted
@@ -1738,8 +2031,11 @@ class ArraySimulationRun:
         )
 
     def _preempt(self, victim: int) -> None:
-        pages = self._held[victim]
-        self.kv.reserved_pages -= pages
+        if self._exact_kv:
+            pages = self.kv.release(self._rid[victim])
+        else:
+            pages = self._held[victim]
+            self.kv.reserved_pages -= pages
         self._held[victim] = 0
         self.active.remove(victim)
         if self._generated[victim] == 0:
@@ -1912,6 +2208,10 @@ class ArraySimulationRun:
             peak_active=self.peak_active,
             preemptions=self.preemptions,
             recomputed_tokens=self.recomputed_tokens,
+            swap_outs=self.swap_outs,
+            swap_ins=self.swap_ins,
+            swapped_pages=self.swapped_pages_total,
+            link_gbps=sim.link_gbps if sim.swap else 0.0,
             chunk_tokens=sim.chunk_tokens,
             kv_page_tokens=kv.page_tokens,
             kv_pages_total=kv.total_pages,
@@ -1931,16 +2231,27 @@ class ArraySimulationRun:
             raise ValueError("cannot fail a finished run")
         if self.dead:
             raise ValueError("replica is already dead")
-        dropped_ids = tuple(sorted(self._rid[row] for row in self.active))
-        lost_rows = list(self.active) + list(self.waiting) + list(self.pending)
+        dropped_ids = tuple(
+            sorted(self._rid[row] for row in (*self.active, *self.swapped))
+        )
+        lost_rows = (
+            list(self.active)
+            + list(self.swapped)
+            + list(self.waiting)
+            + list(self.pending)
+        )
         lost = [self._request(row) for row in lost_rows]
         lost.sort(key=lambda request: (request.arrival_s, request.request_id))
-        pages = self.kv.reserved_pages
-        self.kv.reserved_pages = 0
+        if self._exact_kv:
+            pages = self.kv.release_all()
+        else:
+            pages = self.kv.reserved_pages
+            self.kv.reserved_pages = 0
         for row in lost_rows:
             self._held[row] = 0
             self._free.append(row)
         self.active.clear()
+        self.swapped.clear()
         self.waiting.clear()
         self.pending.clear()
         self._num_prefilling = 0
@@ -1968,6 +2279,8 @@ class ArraySimulationRun:
             raise ValueError("cannot resubmit a request to a finished run")
         if self.dead:
             raise ValueError("cannot resubmit a request to a failed replica")
+        if request.prefix_id >= 0 and not self._exact_kv:
+            self._ensure_exact_kv()
         self._requeue(self._new_row(request))
         self.offered += 1
         self._outstanding += request.input_tokens + request.output_tokens
@@ -1976,7 +2289,12 @@ class ArraySimulationRun:
 
     def catch_up(self, now: float) -> None:
         """Jump an idle replica's clock forward to ``now``."""
-        if now > self.clock and not self.active and not self.waiting:
+        if (
+            now > self.clock
+            and not self.active
+            and not self.waiting
+            and not self.swapped
+        ):
             self.clock = now
             self._emit("idle")
 

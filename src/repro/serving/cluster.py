@@ -22,10 +22,16 @@ future.  Routers:
     Route to the replica with the fewest prompt+output tokens still to
     compute (queued or in flight) — join-shortest-queue in token units.
 ``kv-aware``
-    Route to the replica with the most free KV pages.  Free pages track
-    both load and *memory* pressure, which is what actually gates admission
-    under paged-KV serving; under skewed traces this keeps the heavy tail
-    from piling onto one replica's pool.
+    Route to the replica with the most *effective* free KV pages: free
+    pages plus any pages of the arriving request's shared prefix already
+    resident there (those cost the request nothing — landing next to its
+    prefix is both cheaper and stickier, so group members co-locate and
+    the prefix is charged once per replica instead of once per member).
+    Free pages track both load and *memory* pressure, which is what
+    actually gates admission under paged-KV serving; under skewed traces
+    this keeps the heavy tail from piling onto one replica's pool.
+    Without shared prefixes the resident term is identically zero and the
+    router scores plain free pages, byte-identical to before.
 
 A one-replica cluster reproduces the single-device simulator **byte for
 byte** under every router (all decisions collapse to replica 0, and the
@@ -117,6 +123,10 @@ class ReplicaSnapshot:
     #: Requests / total tokens ever routed to this replica.
     routed_requests: int
     routed_tokens: int
+    #: Pages of the *arriving request's* shared prefix already resident on
+    #: this replica (0 when the request shares nothing or the prefix is
+    #: absent) — those pages would cost the request nothing here.
+    resident_prefix_pages: int = 0
 
 
 class Router:
@@ -171,13 +181,23 @@ class LeastOutstandingTokensRouter(Router):
 
 
 class KvAwareRouter(Router):
-    """Route to the replica with the most free KV pages (ties: lowest index)."""
+    """Route to the replica with the most effective free KV pages.
+
+    Effective = free pages + pages of the arriving request's shared
+    prefix already resident there (ties: lowest index).  The resident
+    term is zero for requests that share nothing, so without prefix
+    sharing this is exactly the most-free-pages rule.
+    """
 
     name = "kv-aware"
 
     def select(self, replicas, request):
         return min(
-            replicas, key=lambda state: (-state.free_kv_pages, state.index)
+            replicas,
+            key=lambda state: (
+                -(state.free_kv_pages + state.resident_prefix_pages),
+                state.index,
+            ),
         ).index
 
 
@@ -419,8 +439,18 @@ def _snapshot(
     run: SimulationRun,
     assignments: "list[list[Request]]",
     routed_tokens: "list[int]",
+    request: "Request | None" = None,
 ) -> ReplicaSnapshot:
-    """The router-visible state of one replica at this instant."""
+    """The router-visible state of one replica at this instant.
+
+    When the arriving ``request`` is given and shares a prefix, the
+    snapshot also reports how many pages of that prefix are already
+    resident on the replica (autoscaler snapshots pass no request — the
+    field stays 0, which every built-in consumer treats as neutral).
+    """
+    resident = 0
+    if request is not None and request.prefix_id >= 0:
+        resident = run.kv.resident_prefix_pages(request.prefix_id)
     return ReplicaSnapshot(
         index=index,
         outstanding_requests=run.outstanding_requests,
@@ -429,6 +459,7 @@ def _snapshot(
         total_kv_pages=run.kv.total_pages,
         routed_requests=len(assignments[index]),
         routed_tokens=routed_tokens[index],
+        resident_prefix_pages=resident,
     )
 
 
@@ -554,7 +585,10 @@ class _OpsState:
         router = self.cluster.router
         for request in lost:
             snapshots = [
-                _snapshot(i, self.runs[i], self.assignments, self.routed_tokens)
+                _snapshot(
+                    i, self.runs[i], self.assignments, self.routed_tokens,
+                    request,
+                )
                 for i in candidates
             ]
             choice = router.select(snapshots, request)
@@ -878,7 +912,7 @@ class ClusterSimulator:
                 candidates = list(range(len(runs)))
             routed_at = perf_counter() if profile else 0.0
             snapshots = [
-                _snapshot(index, runs[index], assignments, routed_tokens)
+                _snapshot(index, runs[index], assignments, routed_tokens, request)
                 for index in candidates
             ]
             choice = self.router.select(snapshots, request)
@@ -943,11 +977,13 @@ class ClusterSimulator:
         Causality is identical to the generic loop — every replica with
         live work is advanced to each arrival before the decision — but
         the decision itself reads the two O(1) columns the built-in
-        routers score on (outstanding tokens, free KV pages) directly
-        from the runs instead of materializing a ``ReplicaSnapshot``
-        dataclass per replica per arrival, and idle replicas (nothing
-        queued or in flight — advancing them cannot change any
-        router-visible column) skip the advance call entirely.
+        routers score on (outstanding tokens, free KV pages — plus the
+        resident-prefix pages of the arriving request's group for the
+        kv-aware rule, looked up only when the request shares a prefix)
+        directly from the runs instead of materializing a
+        ``ReplicaSnapshot`` dataclass per replica per arrival, and idle
+        replicas (nothing queued or in flight — advancing them cannot
+        change any router-visible column) skip the advance call entirely.
         """
         from time import perf_counter
 
@@ -969,10 +1005,15 @@ class ClusterSimulator:
                         best = index
                         best_tokens = tokens
             else:
+                prefix_id = request.prefix_id
                 best = 0
                 best_free = runs[0].kv.free_pages
+                if prefix_id >= 0:
+                    best_free += runs[0].kv.resident_prefix_pages(prefix_id)
                 for index in range(1, count):
                     free = runs[index].kv.free_pages
+                    if prefix_id >= 0:
+                        free += runs[index].kv.resident_prefix_pages(prefix_id)
                     if free > best_free:
                         best = index
                         best_free = free

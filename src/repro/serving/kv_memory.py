@@ -30,6 +30,35 @@ This module supplies the missing accounting, vLLM-style:
   recomputes it (:mod:`repro.serving.simulator`), so optimism admits more
   concurrent requests in exchange for occasional wasted work.
 
+Shared-prefix reference counting
+--------------------------------
+At production scale most prompts share a system prefix, and vLLM-style
+prefix caching stores those pages **once**.  A request may declare a
+*prefix group* (``prefix_id >= 0``) and a prefix length in tokens; only the
+**whole** pages of the prefix (``prefix_tokens // page_tokens``) are
+shareable — the partial last page, if any, stays private, exactly as a
+radix-tree block cache would split it.  The first member of a group to
+arrive pays for the shared pages and every later member reuses them for
+free; a per-group **reference count** keeps the pages resident until the
+last member releases.  Admission therefore charges only the *unique new*
+pages of a request, which is what lets a shared-prefix trace admit more
+concurrent requests at the same ``kv_fraction``.
+
+Host-DRAM swap tier
+-------------------
+Preempt-and-recompute throws a victim's KV state away and pays the prefill
+again.  The alternative the paper's memory hierarchy invites is to **swap**
+the victim's pages out to host DRAM over the PCIe/interconnect link and
+restore them on resume — trading link transfer time for recompute time.
+:meth:`KvPageAccountant.swap_out` moves a request's *private* pages off the
+device (its shared-prefix pages stay resident — other members still decode
+against them, so evicting them would corrupt the pool) and
+:meth:`KvPageAccountant.swap_in` moves them back, failing loudly if the
+pool no longer has room.  The scheduler prices the transfer from the page
+size and a ``link_gbps`` knob; which side of the swap-vs-recompute frontier
+a configuration lands on is exactly what the ``kv_hierarchy`` sweep
+measures.
+
 Backends expose their capacity differently, so the derivation dispatches on
 what the cost model's ``config`` carries: the simulator backends
 (:class:`~repro.core.system.IanusSystem` and its NPU-MEM variant) expose
@@ -110,6 +139,15 @@ def kv_budget_bytes(
 
 
 @dataclass
+class _PrefixGroup:
+    """One resident shared prefix: whole pages held once for many requests."""
+
+    prefix_tokens: int
+    pages: int
+    refcount: int = 0
+
+
+@dataclass
 class KvPageAccountant:
     """Tracks committed KV pages of the in-flight requests against a budget.
 
@@ -117,12 +155,26 @@ class KvPageAccountant:
     is the admission test.  Reserving more pages than the pool holds raises
     — the scheduler must never over-subscribe, and the accountant enforcing
     it here is what the invariant suite leans on.
+
+    Requests that declare a shared prefix (``prefix_id >= 0``) charge the
+    prefix's whole pages only on the group's first reservation; later
+    members bump the group's reference count and pay only their private
+    pages.  ``swap_out``/``swap_in`` move a request's private pages between
+    the device pool and host DRAM (shared pages never move — other group
+    members still use them).
     """
 
     budget_bytes: int
     token_bytes: int
     page_tokens: int = DEFAULT_PAGE_TOKENS
+    #: Private (unshared) resident pages per request.
     _reserved: dict[int, int] = field(default_factory=dict, repr=False)
+    #: Private pages per request currently swapped out to host DRAM.
+    _swapped: dict[int, int] = field(default_factory=dict, repr=False)
+    #: Resident shared-prefix groups, by prefix id.
+    _groups: dict[int, _PrefixGroup] = field(default_factory=dict, repr=False)
+    #: Prefix group of each sharing request (absent for private requests).
+    _request_group: dict[int, int] = field(default_factory=dict, repr=False)
     #: High-water mark of committed pages over the accountant's lifetime.
     peak_reserved_pages: int = 0
 
@@ -170,11 +222,20 @@ class KvPageAccountant:
 
     @property
     def reserved_pages(self) -> int:
-        return sum(self._reserved.values())
+        """Resident pages: every request's private pages plus each shared
+        group's pages counted **once**."""
+        return sum(self._reserved.values()) + sum(
+            group.pages for group in self._groups.values()
+        )
 
     @property
     def free_pages(self) -> int:
         return self.total_pages - self.reserved_pages
+
+    @property
+    def swapped_pages(self) -> int:
+        """Private pages currently parked in host DRAM (not in the pool)."""
+        return sum(self._swapped.values())
 
     def pages_for(self, tokens: int) -> int:
         """Pages needed to hold ``tokens`` tokens of KV cache (ceiling)."""
@@ -182,32 +243,100 @@ class KvPageAccountant:
             raise ValueError("tokens must be non-negative")
         return -(-tokens // self.page_tokens)
 
+    def shared_pages_for(self, prefix_tokens: int) -> int:
+        """Whole pages of a shared prefix — the shareable part.
+
+        The partial last page (``prefix_tokens % page_tokens`` tokens)
+        stays private to each request, radix-tree style.
+        """
+        if prefix_tokens < 0:
+            raise ValueError("prefix_tokens must be non-negative")
+        return prefix_tokens // self.page_tokens
+
     def fits_alone(self, tokens: int) -> bool:
         """Whether a request of ``tokens`` tokens can ever be served."""
         return self.pages_for(tokens) <= self.total_pages
 
-    def can_reserve(self, tokens: int) -> bool:
-        return self.pages_for(tokens) <= self.free_pages
+    def resident_prefix_pages(self, prefix_id: int) -> int:
+        """Pages of a shared prefix already resident (0 when absent).
+
+        The kv-aware router uses this to steer a request toward the
+        replica where its prefix is already cached — those pages cost it
+        nothing there.
+        """
+        group = self._groups.get(prefix_id)
+        return group.pages if group is not None else 0
+
+    def prefix_refcount(self, prefix_id: int) -> int:
+        """Reference count of a resident shared prefix (0 when absent)."""
+        group = self._groups.get(prefix_id)
+        return group.refcount if group is not None else 0
+
+    # ------------------------------------------------------------------
+    def _charge_pages(
+        self, tokens: int, prefix_id: int, prefix_tokens: int
+    ) -> int:
+        """Unique new pages a reservation of ``tokens`` tokens would charge."""
+        pages = self.pages_for(tokens)
+        if prefix_id < 0 or prefix_tokens <= 0:
+            return pages
+        shared = self.shared_pages_for(prefix_tokens)
+        group = self._groups.get(prefix_id)
+        if group is not None and group.prefix_tokens != prefix_tokens:
+            raise ValueError(
+                f"prefix group {prefix_id} holds a {group.prefix_tokens}-token "
+                f"prefix; request declares {prefix_tokens} tokens (all members "
+                f"of a group must share one prefix length)"
+            )
+        if pages < shared:
+            raise ValueError(
+                f"reservation of {tokens} tokens ({pages} pages) cannot carry "
+                f"a {prefix_tokens}-token shared prefix ({shared} pages)"
+            )
+        private = pages - shared
+        return private + (shared if group is None else 0)
+
+    def can_reserve(
+        self, tokens: int, prefix_id: int = -1, prefix_tokens: int = 0
+    ) -> bool:
+        return self._charge_pages(tokens, prefix_id, prefix_tokens) <= self.free_pages
 
     def held_pages(self, request_id: int) -> int:
-        """Pages currently reserved by one request (0 when none)."""
+        """Private resident pages of one request (0 when none)."""
         return self._reserved.get(request_id, 0)
+
+    def request_swapped_pages(self, request_id: int) -> int:
+        """Private pages of one request parked in host DRAM (0 when none)."""
+        return self._swapped.get(request_id, 0)
+
+    def shared_held_pages(self, request_id: int) -> int:
+        """Shared pages backing one request (0 for private requests)."""
+        gid = self._request_group.get(request_id)
+        if gid is None:
+            return 0
+        return self._groups[gid].pages
+
+    def grow_need(self, request_id: int, tokens: int) -> int:
+        """Pages a reservation still lacks to cover ``tokens`` tokens."""
+        held = self.held_pages(request_id) + self.shared_held_pages(request_id)
+        return self.pages_for(tokens) - held
 
     def can_grow(self, request_id: int, tokens: int) -> bool:
         """Whether a reservation can grow to cover ``tokens`` tokens."""
-        need = self.pages_for(tokens) - self.held_pages(request_id)
-        return need <= self.free_pages
+        return self.grow_need(request_id, tokens) <= self.free_pages
 
     def grow(self, request_id: int, tokens: int) -> int:
         """Grow a reservation to cover ``tokens`` tokens; returns added pages.
 
         On-demand page growth of optimistic admission: a no-op (returns 0)
-        while the tokens still fit the held pages, raises on
-        over-subscription — the scheduler must preempt first.
+        while the tokens still fit the held pages (private plus the shared
+        prefix, which never grows), raises on over-subscription — the
+        scheduler must preempt first.
         """
         if request_id not in self._reserved:
             raise ValueError(f"request {request_id} holds no reservation")
-        need = self.pages_for(tokens) - self._reserved[request_id]
+        held = self._reserved[request_id] + self.shared_held_pages(request_id)
+        need = self.pages_for(tokens) - held
         if need <= 0:
             return 0
         if need > self.free_pages:
@@ -220,32 +349,116 @@ class KvPageAccountant:
             self.peak_reserved_pages = self.reserved_pages
         return need
 
-    def reserve(self, request_id: int, tokens: int) -> int:
-        """Commit the pages of one request; returns the page count."""
-        if request_id in self._reserved:
+    def reserve(
+        self,
+        request_id: int,
+        tokens: int,
+        prefix_id: int = -1,
+        prefix_tokens: int = 0,
+    ) -> int:
+        """Commit the pages of one request; returns the pages *charged*.
+
+        With no prefix group that is the full page count.  With a shared
+        prefix it is the private pages plus — only when this request is
+        the group's first resident member — the shared pages; either way
+        the return value is exactly what ``reserved_pages`` went up by,
+        which is what the admit event reports.
+        """
+        if request_id in self._reserved or request_id in self._swapped:
             raise ValueError(f"request {request_id} already holds a reservation")
-        pages = self.pages_for(tokens)
+        charge = self._charge_pages(tokens, prefix_id, prefix_tokens)
+        if charge > self.free_pages:
+            raise ValueError(
+                f"KV over-subscription: request {request_id} needs {charge} "
+                f"page(s) but only {self.free_pages} of {self.total_pages} are free"
+            )
+        if prefix_id >= 0 and prefix_tokens > 0:
+            shared = self.shared_pages_for(prefix_tokens)
+            group = self._groups.get(prefix_id)
+            if group is None:
+                group = _PrefixGroup(prefix_tokens=prefix_tokens, pages=shared)
+                self._groups[prefix_id] = group
+            group.refcount += 1
+            self._reserved[request_id] = self.pages_for(tokens) - shared
+            self._request_group[request_id] = prefix_id
+        else:
+            self._reserved[request_id] = self.pages_for(tokens)
+        if self.reserved_pages > self.peak_reserved_pages:
+            self.peak_reserved_pages = self.reserved_pages
+        return charge
+
+    def release(self, request_id: int) -> int:
+        """Drop one request's reservation; returns the resident pages freed.
+
+        Frees the request's private pages and drops its reference on the
+        shared prefix; the shared pages themselves are freed only when the
+        last member leaves.  A swapped-out request may also be released
+        (its host copy is simply discarded); only the resident pages it
+        still held come back to the pool.
+        """
+        if request_id in self._reserved:
+            freed = self._reserved.pop(request_id)
+        elif request_id in self._swapped:
+            self._swapped.pop(request_id)
+            freed = 0
+        else:
+            raise ValueError(f"request {request_id} holds no reservation")
+        gid = self._request_group.pop(request_id, None)
+        if gid is not None:
+            group = self._groups[gid]
+            group.refcount -= 1
+            if group.refcount <= 0:
+                freed += group.pages
+                del self._groups[gid]
+        return freed
+
+    # ------------------------------------------------------------------
+    def swap_out(self, request_id: int) -> int:
+        """Move a request's private pages to host DRAM; returns pages freed.
+
+        The shared-prefix pages stay resident (other members of the group
+        still decode against them) and the reference count stays held, so
+        the prefix cannot be evicted from under a swapped request.
+        """
+        if request_id not in self._reserved:
+            raise ValueError(f"request {request_id} holds no reservation")
+        if request_id in self._swapped:
+            raise ValueError(f"request {request_id} is already swapped out")
+        pages = self._reserved.pop(request_id)
+        self._swapped[request_id] = pages
+        return pages
+
+    def can_swap_in(self, request_id: int) -> bool:
+        """Whether a swapped request's private pages fit the pool again."""
+        return self._swapped.get(request_id, 0) <= self.free_pages
+
+    def swap_in(self, request_id: int) -> int:
+        """Restore a swapped request's private pages; returns pages restored."""
+        if request_id not in self._swapped:
+            raise ValueError(f"request {request_id} is not swapped out")
+        pages = self._swapped[request_id]
         if pages > self.free_pages:
             raise ValueError(
-                f"KV over-subscription: request {request_id} needs {pages} "
-                f"pages but only {self.free_pages} of {self.total_pages} are free"
+                f"KV over-subscription: swapping request {request_id} back in "
+                f"needs {pages} page(s) but only {self.free_pages} of "
+                f"{self.total_pages} are free"
             )
+        del self._swapped[request_id]
         self._reserved[request_id] = pages
         if self.reserved_pages > self.peak_reserved_pages:
             self.peak_reserved_pages = self.reserved_pages
         return pages
 
-    def release(self, request_id: int) -> None:
-        if request_id not in self._reserved:
-            raise ValueError(f"request {request_id} holds no reservation")
-        del self._reserved[request_id]
-
     def release_all(self) -> int:
         """Drop every reservation at once (replica failure); returns pages freed.
 
-        The cache contents are gone with the replica, so the victims must
-        recompute from scratch wherever they land next.
+        The cache contents are gone with the replica — resident pages,
+        shared prefixes and the host-DRAM copies alike — so the victims
+        must recompute from scratch wherever they land next.
         """
         pages = self.reserved_pages
         self._reserved.clear()
+        self._swapped.clear()
+        self._groups.clear()
+        self._request_group.clear()
         return pages

@@ -17,6 +17,11 @@ Requests carry a ``priority_class`` (0 = most important) for the
 class-aware schedulers, and completed metrics carry the latency SLO target
 the simulator assigned to that class (``slo_s``; 0 means no target), from
 which per-class SLO attainment is aggregated.
+
+Requests may also declare a shared prompt prefix (``prefix_id`` names the
+group, ``prefix_tokens`` its length): every member of a group opens with
+the same system prefix, and the KV page accountant stores those pages once,
+reference-counted (:mod:`repro.serving.kv_memory`).
 """
 
 from __future__ import annotations
@@ -38,6 +43,12 @@ class Request:
     output_tokens: int = 1
     #: Scheduling class, 0 = most important (priority-class policies).
     priority_class: int = 0
+    #: Shared-prefix group (-1 = no sharing).  Requests of one group open
+    #: with the same system prefix and the KV accountant stores its whole
+    #: pages once, reference-counted.
+    prefix_id: int = -1
+    #: Length of the shared prefix in tokens (part of ``input_tokens``).
+    prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -48,6 +59,12 @@ class Request:
             raise ValueError("output_tokens must be at least 1")
         if self.priority_class < 0:
             raise ValueError("priority_class must be non-negative")
+        if self.prefix_id < -1:
+            raise ValueError("prefix_id must be -1 (none) or a group id >= 0")
+        if not 0 <= self.prefix_tokens <= self.input_tokens:
+            raise ValueError("prefix_tokens must be in [0, input_tokens]")
+        if self.prefix_tokens > 0 and self.prefix_id < 0:
+            raise ValueError("prefix_tokens > 0 requires a prefix_id >= 0")
 
     # ------------------------------------------------------------------
     @property

@@ -701,6 +701,14 @@ class ServingMetrics:
     preemptions: int = 0
     #: Prompt + output tokens computed then discarded by preemptions.
     recomputed_tokens: int = 0
+    #: Victims whose KV pages were swapped out to host DRAM (swap tier).
+    swap_outs: int = 0
+    #: Swapped-out requests restored to the pool (no recompute).
+    swap_ins: int = 0
+    #: KV pages moved over the host link, both directions summed.
+    swapped_pages: int = 0
+    #: Host-link bandwidth priced for swap transfers (0 = swap disabled).
+    link_gbps: float = 0.0
     chunk_tokens: int = 0
     kv_page_tokens: int = DEFAULT_PAGE_TOKENS
     kv_pages_total: int = 0
@@ -740,6 +748,10 @@ class ServingMetrics:
             "peak_active": self.peak_active,
             "preemptions": self.preemptions,
             "recomputed_tokens": self.recomputed_tokens,
+            "swap_outs": self.swap_outs,
+            "swap_ins": self.swap_ins,
+            "swapped_pages": self.swapped_pages,
+            "link_gbps": self.link_gbps,
             "chunk_tokens": self.chunk_tokens,
             "kv_page_tokens": self.kv_page_tokens,
             "kv_pages_total": self.kv_pages_total,
@@ -787,6 +799,15 @@ class ServingMetrics:
             f"({self.admissions} admits, peak {self.peak_active} in flight, "
             f"{self.preemptions} preemptions, "
             f"{self.recomputed_tokens} tokens recomputed)",
+            *(
+                [
+                    f"KV swap         : {self.swap_outs} out / {self.swap_ins} in, "
+                    f"{self.swapped_pages} pages over a "
+                    f"{self.link_gbps:g} Gb/s host link"
+                ]
+                if self.link_gbps > 0.0
+                else []
+            ),
             f"KV memory       : {self.kv_peak_pages}/{self.kv_pages_total} "
             f"pages peak ({self.kv_peak_fraction:.0%} of "
             f"{self.kv_budget_bytes / 2**30:.2f} GiB, "
@@ -837,6 +858,9 @@ class SimulationRun:
         self.pending: "deque[Request]" = deque()
         self.waiting: list[Request] = []
         self.active: list[_InFlight] = []
+        #: Swapped-out requests, oldest first; their private KV pages live
+        #: in host DRAM and their progress is preserved until swap-in.
+        self.swapped: list[_InFlight] = []
         self.completed: list[RequestMetrics] = []
         self.clock = 0.0
         self.busy = 0.0
@@ -849,6 +873,9 @@ class SimulationRun:
         self.peak_active = 0
         self.preemptions = 0
         self.recomputed_tokens = 0
+        self.swap_outs = 0
+        self.swap_ins = 0
+        self.swapped_pages_total = 0
         self.offered = 0
         self.first_arrival: "float | None" = None
         self.finished = False
@@ -905,7 +932,12 @@ class SimulationRun:
     @property
     def outstanding_requests(self) -> int:
         """Requests routed here and not yet completed."""
-        return len(self.pending) + len(self.waiting) + len(self.active)
+        return (
+            len(self.pending)
+            + len(self.waiting)
+            + len(self.active)
+            + len(self.swapped)
+        )
 
     @property
     def outstanding_tokens(self) -> int:
@@ -913,6 +945,7 @@ class SimulationRun:
         tokens = sum(request.total_tokens for request in self.pending)
         tokens += sum(request.total_tokens for request in self.waiting)
         tokens += sum(flight.remaining_tokens for flight in self.active)
+        tokens += sum(flight.remaining_tokens for flight in self.swapped)
         return tokens
 
     # ------------------------------------------------------------------
@@ -940,7 +973,7 @@ class SimulationRun:
         while True:
             while self.pending and self.pending[0].arrival_s <= self.clock:
                 self.waiting.append(self.pending.popleft())
-            if not self.waiting and not self.active:
+            if not self.waiting and not self.active and not self.swapped:
                 if self.pending and (
                     until is None or self.pending[0].arrival_s <= until
                 ):
@@ -1013,12 +1046,58 @@ class SimulationRun:
     def _admit(self) -> None:
         # Admission is instantaneous: commit KV pages and make the
         # request scheduler-visible.  Both gates must agree — the
-        # policy's concurrency cap and the page pool.  KV blocking is
-        # head-of-line on the policy's own admission order (no
-        # smaller-request bypass), which keeps admission starvation-free
-        # under every policy.  Worst-case mode commits the full
-        # input + output tokens; optimistic mode commits the prompt only
-        # and grows during decode (_grow_batch).
+        # policy's concurrency cap and the page pool.  Swapped-out
+        # requests come back first (they hold completed work a recompute
+        # would repay), then new admissions in the policy's order.
+        self._swap_in_ready()
+        self._admit_waiting()
+        # The device may be idle with the pool pinned: every active slot
+        # empty, yet swapped requests cannot return because resident
+        # shared-prefix pages (theirs or their peers') crowd the pool.
+        # Sacrifice the youngest swapped request for recompute until the
+        # oldest fits again — each round shrinks the swap set, and a lone
+        # swapped request always fits (fits_alone held at admission).
+        while (
+            not self.active
+            and self.swapped
+            and self.sim.policy.admit(len(self.active))
+        ):
+            if self.kv.can_swap_in(self.swapped[0].request.request_id):
+                self._swap_in_head()
+            else:
+                self._preempt_swapped(len(self.swapped) - 1)
+            self._admit_waiting()
+
+    def _swap_in_ready(self) -> None:
+        """Restore swapped-out requests, oldest first, while they fit."""
+        sim, kv = self.sim, self.kv
+        while self.swapped and sim.policy.admit(len(self.active)):
+            if not kv.can_swap_in(self.swapped[0].request.request_id):
+                break
+            self._swap_in_head()
+
+    def _swap_in_head(self) -> None:
+        """Pay the link transfer and re-activate the oldest swapped request."""
+        flight = self.swapped.pop(0)
+        request_id = flight.request.request_id
+        pages = self.kv.swap_in(request_id)
+        latency = self._swap_latency(pages)
+        self.clock += latency
+        self.busy += latency
+        self.active.append(flight)
+        self.swap_ins += 1
+        self.swapped_pages_total += pages
+        if len(self.active) > self.peak_active:
+            self.peak_active = len(self.active)
+        self._emit("swap_in", latency=latency, request_id=request_id, tokens=pages)
+
+    def _admit_waiting(self) -> None:
+        # KV blocking is head-of-line on the policy's own admission order
+        # (no smaller-request bypass), which keeps admission
+        # starvation-free under every policy.  Worst-case mode commits the
+        # full input + output tokens; optimistic mode commits the prompt
+        # only and grows during decode (_grow_batch).  Requests with a
+        # shared prefix charge only their unique new pages.
         sim, kv = self.sim, self.kv
         while self.waiting and sim.policy.admit(len(self.active)):
             index = sim.policy.admit_index(self.waiting)
@@ -1035,9 +1114,16 @@ class SimulationRun:
                 if sim.admission == "optimistic"
                 else request.total_tokens
             )
-            if not kv.can_reserve(commit_tokens):
+            if not kv.can_reserve(
+                commit_tokens, request.prefix_id, request.prefix_tokens
+            ):
                 break
-            pages = kv.reserve(request.request_id, commit_tokens)
+            pages = kv.reserve(
+                request.request_id,
+                commit_tokens,
+                request.prefix_id,
+                request.prefix_tokens,
+            )
             self.waiting.pop(index)
             self.active.append(_InFlight(request))
             self.admissions += 1
@@ -1078,7 +1164,7 @@ class SimulationRun:
                 head = requested[0]
                 kv = self.kv
                 held = kv.held_pages(head.request.request_id)
-                need = kv.pages_for(head.next_kv_length) - held
+                need = kv.grow_need(head.request.request_id, head.next_kv_length)
                 raise RuntimeError(
                     "KV pool exhausted with preemption disabled: request "
                     f"{head.request.request_id} holds {held} page(s) and "
@@ -1127,7 +1213,8 @@ class SimulationRun:
             self._emit("complete", request_id=f.request.request_id)
 
     # ------------------------------------------------------------------
-    # Optimistic admission: on-demand growth and preempt-and-recompute
+    # Optimistic admission: on-demand growth, preempt-and-recompute,
+    # and the host-DRAM swap tier
     # ------------------------------------------------------------------
     def _grow_batch(
         self, batch: "list[_InFlight]", carrier_flight: "_InFlight | None"
@@ -1135,11 +1222,16 @@ class SimulationRun:
         """Grant each decode member the pages its next pass needs.
 
         Members are processed in the policy's priority order.  A member
-        whose growth does not fit preempts the least-progressed
-        unprotected victim (with ``preempt=True``) until it fits, or is
-        stalled for this iteration.  The first member can always be
-        granted when preemption is on: every admitted request fits the
-        pool alone, so evicting everything else always frees enough.
+        whose growth does not fit evicts the least-progressed unprotected
+        victim until it fits, or is stalled for this iteration.  With the
+        swap tier enabled the victim's private pages move to host DRAM
+        (its progress survives; it resumes via swap-in); otherwise — with
+        ``preempt=True`` — the victim is preempted for recompute.  When
+        swapping every active victim still does not free enough (resident
+        shared-prefix pages of swapped peers can pin the pool), the
+        youngest swapped request is preempted outright, which releases
+        its prefix reference — so the first member can always be granted:
+        every admitted request fits the pool alone.
         """
         kv = self.kv
         granted: list[_InFlight] = []
@@ -1148,17 +1240,24 @@ class SimulationRun:
             protected.add(id(carrier_flight))
         for f in batch:
             if not any(f is flight for flight in self.active):
-                continue  # preempted by an earlier member's growth
-            need = kv.pages_for(f.next_kv_length) - kv.held_pages(
-                f.request.request_id
-            )
-            if need > 0 and need > kv.free_pages and self.sim.preempt:
+                continue  # evicted by an earlier member's growth
+            need = kv.grow_need(f.request.request_id, f.next_kv_length)
+            if need > 0 and need > kv.free_pages and (
+                self.sim.swap or self.sim.preempt
+            ):
                 protected.add(id(f))
                 while need > kv.free_pages:
                     victim = self._choose_victim(protected)
-                    if victim is None:
-                        break  # everyone left is protected: stall, not deadlock
-                    self._preempt(victim)
+                    if victim is not None:
+                        if self.sim.swap:
+                            self._swap_out(victim)
+                        else:
+                            self._preempt(victim)
+                        continue
+                    if self.sim.swap and self.swapped:
+                        self._preempt_swapped(len(self.swapped) - 1)
+                        continue
+                    break  # everyone left is protected: stall, not deadlock
             if need <= kv.free_pages:
                 kv.grow(f.request.request_id, f.next_kv_length)
                 granted.append(f)
@@ -1186,8 +1285,7 @@ class SimulationRun:
     def _preempt(self, victim: _InFlight) -> None:
         """Evict one request: release its pages, re-enqueue for recompute."""
         request = victim.request
-        pages = self.kv.held_pages(request.request_id)
-        self.kv.release(request.request_id)
+        pages = self.kv.release(request.request_id)
         for index, flight in enumerate(self.active):
             if flight is victim:
                 del self.active[index]
@@ -1201,6 +1299,59 @@ class SimulationRun:
             )
         self._requeue(request)
         self._emit("preempt", request_id=request.request_id, tokens=pages)
+
+    def _preempt_swapped(self, index: int) -> None:
+        """Preempt a swapped-out request: discard its host copy, recompute.
+
+        The last-resort path when resident shared-prefix pages pin the
+        pool — releasing the request drops its prefix reference, freeing
+        the shared pages once the last member leaves.
+        """
+        victim = self.swapped.pop(index)
+        request = victim.request
+        pages = self.kv.release(request.request_id)
+        self.preemptions += 1
+        self.recomputed_tokens += victim.prefilled + victim.generated
+        if self.preemptions > 50 * max(self.offered, 1):  # pragma: no cover
+            raise RuntimeError(
+                f"preemption livelock: {self.preemptions} preemptions over "
+                f"{self.offered} offered request(s)"
+            )
+        self._requeue(request)
+        self._emit("preempt", request_id=request.request_id, tokens=pages)
+
+    def _swap_out(self, victim: _InFlight) -> None:
+        """Move a victim's private pages to host DRAM over the link.
+
+        Unlike preemption the victim's prefill/decode progress survives;
+        it rejoins the active set via swap-in with nothing to recompute.
+        The transfer occupies the device timeline (and the link), priced
+        from the page size and ``link_gbps``.
+        """
+        request = victim.request
+        pages = self.kv.swap_out(request.request_id)
+        for index, flight in enumerate(self.active):
+            if flight is victim:
+                del self.active[index]
+                break
+        latency = self._swap_latency(pages)
+        self.clock += latency
+        self.busy += latency
+        self.swapped.append(victim)
+        self.swap_outs += 1
+        self.swapped_pages_total += pages
+        if self.swap_outs > 50 * max(self.offered, 1):  # pragma: no cover
+            raise RuntimeError(
+                f"swap livelock: {self.swap_outs} swap-outs over "
+                f"{self.offered} offered request(s)"
+            )
+        self._emit(
+            "swap_out", latency=latency, request_id=request.request_id, tokens=pages
+        )
+
+    def _swap_latency(self, pages: int) -> float:
+        """Transfer time of ``pages`` KV pages over the host link."""
+        return pages * self.kv.page_bytes * 8.0 / (self.sim.link_gbps * 1e9)
 
     def _requeue(self, request: Request) -> None:
         """Re-insert a preempted request, keeping ``waiting`` arrival-sorted."""
@@ -1228,14 +1379,19 @@ class SimulationRun:
         if self.dead:
             raise ValueError("replica is already dead")
         dropped_ids = tuple(
-            sorted(flight.request.request_id for flight in self.active)
+            sorted(
+                flight.request.request_id
+                for flight in (*self.active, *self.swapped)
+            )
         )
         lost = [flight.request for flight in self.active]
+        lost.extend(flight.request for flight in self.swapped)
         lost.extend(self.waiting)
         lost.extend(self.pending)
         lost.sort(key=lambda request: (request.arrival_s, request.request_id))
         pages = self.kv.release_all()
         self.active.clear()
+        self.swapped.clear()
         self.waiting.clear()
         self.pending.clear()
         if now > self.clock:
@@ -1281,7 +1437,12 @@ class SimulationRun:
         otherwise an idle survivor would start recomputing a victim's work
         *before* the failure instant.
         """
-        if now > self.clock and not self.active and not self.waiting:
+        if (
+            now > self.clock
+            and not self.active
+            and not self.waiting
+            and not self.swapped
+        ):
             self.clock = now
             self._emit("idle")
 
@@ -1333,6 +1494,17 @@ class ServingSimulator:
         ``preempt=False`` a decode that cannot grow stalls instead, and the
         simulator raises ``RuntimeError`` if the pool wedges completely.
         Ignored under worst-case admission, which never needs to grow.
+    swap:
+        Enable the host-DRAM swap tier (optimistic admission only): on
+        pool exhaustion the victim's private KV pages are *swapped out*
+        over the host link instead of preempted — its progress survives
+        and it resumes via swap-in, paying transfer time instead of
+        recompute time.  Preempt-and-recompute remains the last resort
+        when resident shared-prefix pages pin the pool.
+    link_gbps:
+        Host PCIe/interconnect link bandwidth in Gbit/s used to price
+        swap transfers (``pages * page_bytes * 8 / (link_gbps * 1e9)``
+        seconds per direction).  Only meaningful with ``swap=True``.
     engine:
         ``"object"`` (default) or ``"array"`` — see the module docstring's
         *Engines* section.  The array engine requires a registered policy
@@ -1367,6 +1539,8 @@ class ServingSimulator:
         slo_targets: "Sequence[float] | None" = None,
         admission: str = "worst-case",
         preempt: bool = True,
+        swap: bool = False,
+        link_gbps: float = 16.0,
         engine: str = "object",
         profile: bool = False,
         per_request_detail: bool = True,
@@ -1379,6 +1553,14 @@ class ServingSimulator:
             raise ValueError(
                 f"admission must be one of {', '.join(ADMISSION_MODES)}; "
                 f"got {admission!r}"
+            )
+        if not link_gbps > 0.0 or link_gbps != link_gbps or link_gbps == float("inf"):
+            raise ValueError("link_gbps must be a positive finite bandwidth")
+        if swap and admission != "optimistic":
+            raise ValueError(
+                "swap requires admission='optimistic' (worst-case admission "
+                "never exhausts the pool mid-decode, so there is nothing to "
+                "swap)"
             )
         if engine not in ENGINES:
             raise ValueError(
@@ -1405,6 +1587,8 @@ class ServingSimulator:
         self.slo_targets = slo_targets
         self.admission = admission
         self.preempt = preempt
+        self.swap = swap
+        self.link_gbps = link_gbps
         self.kv_fraction = kv_fraction
         self.page_tokens = page_tokens
         self.kv_budget = kv_budget
@@ -1638,6 +1822,10 @@ class ServingSimulator:
             peak_active=run.peak_active,
             preemptions=run.preemptions,
             recomputed_tokens=run.recomputed_tokens,
+            swap_outs=run.swap_outs,
+            swap_ins=run.swap_ins,
+            swapped_pages=run.swapped_pages_total,
+            link_gbps=self.link_gbps if self.swap else 0.0,
             chunk_tokens=self.chunk_tokens,
             kv_page_tokens=kv.page_tokens,
             kv_pages_total=kv.total_pages,

@@ -87,6 +87,16 @@ class SimEvent:
         ``request_id`` was evicted to free KV pages (``tokens`` is the
         page count released) and re-enqueued for recompute from scratch.
         Instantaneous; emitted only under optimistic admission.
+    ``swap_out``
+        ``request_id``'s private KV pages (``tokens``) were moved to host
+        DRAM over the modeled link; ``latency_s`` is the transfer time
+        (it advances the clock).  The request keeps its progress and its
+        shared-prefix reference; it must not prefill, decode or complete
+        until its ``swap_in``.
+    ``swap_in``
+        ``request_id``'s private pages (``tokens``) were restored to the
+        pool; ``latency_s`` is the transfer time.  The request resumes
+        exactly where it was swapped out — nothing is recomputed.
     ``complete``
         ``request_id`` finished and released its KV pages.  Instantaneous.
     ``fail``
@@ -126,7 +136,17 @@ def _pages_for(tokens: int, page_tokens: int) -> int:
 
 
 class _Ledger:
-    """Replays the page accounting the events claim, when geometry is known."""
+    """Replays the page accounting the events claim, when geometry is known.
+
+    Mirrors :class:`~repro.serving.kv_memory.KvPageAccountant` exactly:
+    ``held`` is each request's *private* resident pages, shared-prefix
+    groups are reference-counted and their whole pages counted once, and
+    ``swapped`` parks private pages in host DRAM between ``swap_out`` /
+    ``swap_in`` events.  Every quantity is re-derived from the trace's
+    request shapes — a forged refcount, an invented share, or a deleted
+    swap event makes the replayed reservation diverge from the reported
+    one and is caught.
+    """
 
     def __init__(self, page_tokens: int, admission: str) -> None:
         if page_tokens < 1:
@@ -138,35 +158,94 @@ class _Ledger:
         self.page_tokens = page_tokens
         self.optimistic = admission == "optimistic"
         self.held: dict[int, int] = {}
+        #: Private pages per request parked in host DRAM.
+        self.swapped: dict[int, int] = {}
+        #: prefix_id -> [shared pages, refcount] of resident groups.
+        self.groups: dict[int, list[int]] = {}
+        self.request_group: dict[int, int] = {}
 
     @property
     def reserved(self) -> int:
-        return sum(self.held.values())
+        return sum(self.held.values()) + sum(
+            pages for pages, _refcount in self.groups.values()
+        )
+
+    def _shared_pages(self, request: Request) -> int:
+        if request.prefix_id < 0 or request.prefix_tokens <= 0:
+            return 0
+        # Only the whole pages of the prefix are shareable; the partial
+        # last page stays private (same split as the accountant).
+        return request.prefix_tokens // self.page_tokens
 
     def commit_pages(self, request: Request) -> int:
+        """Unique new pages the request's admission charges."""
         tokens = (
             request.input_tokens if self.optimistic else request.total_tokens
         )
-        return _pages_for(tokens, self.page_tokens)
+        pages = _pages_for(tokens, self.page_tokens)
+        shared = self._shared_pages(request)
+        if shared == 0:
+            return pages
+        first = request.prefix_id not in self.groups
+        return (pages - shared) + (shared if first else 0)
 
     def admit(self, request: Request) -> None:
-        self.held[request.request_id] = self.commit_pages(request)
+        tokens = (
+            request.input_tokens if self.optimistic else request.total_tokens
+        )
+        pages = _pages_for(tokens, self.page_tokens)
+        shared = self._shared_pages(request)
+        self.held[request.request_id] = pages - shared
+        if shared > 0:
+            group = self.groups.setdefault(request.prefix_id, [shared, 0])
+            group[1] += 1
+            self.request_group[request.request_id] = request.prefix_id
 
     def decode(self, request: Request, decode_steps: int) -> None:
         """Grow for decode pass number ``decode_steps`` (1-indexed)."""
         if not self.optimistic:
             return
         # Decode pass k reads KV length input + k and appends its token's
-        # entry, so the request must hold pages for input + k tokens.
+        # entry, so the request must hold pages for input + k tokens —
+        # minus its shared-prefix pages, which are held by the group.
         required = _pages_for(
             request.input_tokens + decode_steps, self.page_tokens
-        )
+        ) - self._shared_pages(request)
         held = self.held.get(request.request_id, 0)
         if required > held:
             self.held[request.request_id] = required
 
     def release(self, request_id: int) -> int:
-        return self.held.pop(request_id, 0)
+        """Drop a reservation; returns the resident pages freed."""
+        freed = self.held.pop(request_id, 0)
+        self.swapped.pop(request_id, None)
+        gid = self.request_group.pop(request_id, None)
+        if gid is not None and gid in self.groups:
+            group = self.groups[gid]
+            group[1] -= 1
+            if group[1] <= 0:
+                freed += group[0]
+                del self.groups[gid]
+        return freed
+
+    def swap_out(self, request_id: int) -> int:
+        """Move private pages to the host side; returns pages moved."""
+        pages = self.held.pop(request_id, 0)
+        self.swapped[request_id] = pages
+        return pages
+
+    def swap_in(self, request_id: int) -> int:
+        """Restore private pages from the host side; returns pages moved."""
+        pages = self.swapped.pop(request_id, 0)
+        self.held[request_id] = pages
+        return pages
+
+    def clear(self) -> None:
+        """Drop everything (replica failure)."""
+        self.held.clear()
+        self.swapped.clear()
+        self.groups.clear()
+        self.request_group.clear()
 
 
 def _replay(
@@ -183,6 +262,9 @@ def _replay(
     """
     violations: list[str] = []
     in_flight: set[int] = set()
+    #: In-flight requests whose private pages sit in host DRAM; they keep
+    #: their episode progress but must not run until swapped back in.
+    swapped: set[int] = set()
     completed: set[int] = set()
     #: Per-episode counters, reset by admit, discarded by preempt.
     prefill_tokens: dict[int, int] = {}
@@ -259,6 +341,11 @@ def _replay(
                         f"{where}: prefilled request {event.request_id} "
                         "before admission"
                     )
+                elif event.request_id in swapped:
+                    violations.append(
+                        f"{where}: prefilled request {event.request_id} "
+                        "while its pages were swapped out"
+                    )
                 elif event.tokens < 1:
                     violations.append(f"{where}: prefill chunk of {event.tokens} tokens")
                 else:
@@ -277,6 +364,12 @@ def _replay(
                 if decode_id not in in_flight:
                     violations.append(
                         f"{where}: decoded request {decode_id} before admission"
+                    )
+                    continue
+                if decode_id in swapped:
+                    violations.append(
+                        f"{where}: decoded request {decode_id} while its "
+                        "pages were swapped out"
                     )
                     continue
                 request = by_id.get(decode_id)
@@ -306,6 +399,7 @@ def _replay(
                 )
             else:
                 in_flight.discard(event.request_id)
+                swapped.discard(event.request_id)
                 preempt_count[event.request_id] = (
                     preempt_count.get(event.request_id, 0) + 1
                 )
@@ -321,6 +415,60 @@ def _replay(
                             f"{event.request_id} released {event.tokens} "
                             f"page(s) but it held {released}"
                         )
+        elif event.kind == "swap_out":
+            if event.latency_s < 0.0:
+                violations.append(f"{where}: swap-out with negative latency")
+            start = event.clock_s - event.latency_s
+            if prev_active > 0 and not _close(start, prev_clock):
+                violations.append(
+                    f"{where}: idle gap of {start - prev_clock:.9f}s while "
+                    f"{prev_active} request(s) were in flight"
+                )
+            if event.request_id not in in_flight:
+                violations.append(
+                    f"{where}: swapped out request {event.request_id} that "
+                    "was not in flight"
+                )
+            elif event.request_id in swapped:
+                violations.append(
+                    f"{where}: request {event.request_id} swapped out twice"
+                )
+            else:
+                swapped.add(event.request_id)
+                # Unlike preemption the episode's progress survives: the
+                # prefill/decode counters are deliberately NOT discarded.
+                if ledger is not None:
+                    moved = ledger.swap_out(event.request_id)
+                    if event.tokens != moved:
+                        violations.append(
+                            f"{where}: swap-out of request "
+                            f"{event.request_id} moved {event.tokens} "
+                            f"page(s) but it held {moved}"
+                        )
+        elif event.kind == "swap_in":
+            if event.latency_s < 0.0:
+                violations.append(f"{where}: swap-in with negative latency")
+            start = event.clock_s - event.latency_s
+            if prev_active > 0 and not _close(start, prev_clock):
+                violations.append(
+                    f"{where}: idle gap of {start - prev_clock:.9f}s while "
+                    f"{prev_active} request(s) were in flight"
+                )
+            if event.request_id not in swapped:
+                violations.append(
+                    f"{where}: swapped in request {event.request_id} that "
+                    "was not swapped out"
+                )
+            else:
+                swapped.discard(event.request_id)
+                if ledger is not None:
+                    moved = ledger.swap_in(event.request_id)
+                    if event.tokens != moved:
+                        violations.append(
+                            f"{where}: swap-in of request "
+                            f"{event.request_id} restored {event.tokens} "
+                            f"page(s) but its host copy held {moved}"
+                        )
         elif event.kind == "complete":
             if not _close(event.clock_s, prev_clock):
                 violations.append(f"{where}: completion consumed device time")
@@ -329,6 +477,11 @@ def _replay(
             elif event.request_id not in in_flight:
                 violations.append(
                     f"{where}: request {event.request_id} completed without admission"
+                )
+            elif event.request_id in swapped:
+                violations.append(
+                    f"{where}: request {event.request_id} completed while "
+                    "its pages were swapped out"
                 )
             else:
                 in_flight.discard(event.request_id)
@@ -368,10 +521,11 @@ def _replay(
             for rid in in_flight:
                 fail_drops[rid] = fail_drops.get(rid, 0) + 1
             in_flight.clear()
+            swapped.clear()
             prefill_tokens.clear()
             decode_steps.clear()
             if ledger is not None:
-                ledger.held.clear()
+                ledger.clear()
             dead = True
         elif event.kind == "recover":
             if not dead:
@@ -397,13 +551,14 @@ def _replay(
             violations.append(f"{where}: unknown event kind {event.kind!r}")
 
         # The ledger must agree with every reported reservation.  Preempt
-        # events are exempt from the *equality* check only because growth
-        # for earlier batch members interleaves with evictions inside one
-        # iteration; the released-page count is still verified above, and
-        # the very next step event re-pins the full ledger.
+        # and swap-out events are exempt from the *equality* check only
+        # because growth for earlier batch members interleaves with
+        # evictions inside one iteration; the released/moved page count is
+        # still verified above, and the very next step event re-pins the
+        # full ledger.
         if (
             ledger is not None
-            and event.kind != "preempt"
+            and event.kind not in ("preempt", "swap_out")
             and event.kv_reserved_pages != ledger.reserved
         ):
             violations.append(

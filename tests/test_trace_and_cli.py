@@ -168,6 +168,26 @@ class TestCli:
                  "--rate", "2.0", "--requests", "2", "--no-disk-cache"],
                 "not a decoder",
             ),
+            (["serve", "--kv-fraction", "0", "--no-disk-cache"], "--kv-fraction"),
+            (["serve", "--kv-fraction", "1.5", "--no-disk-cache"], "(0, 1]"),
+            (["serve", "--page-tokens", "0", "--no-disk-cache"], "--page-tokens"),
+            (["serve", "--prefix-share", "1.2", "--no-disk-cache"], "--prefix-share"),
+            (["serve", "--prefix-share", "-0.1", "--no-disk-cache"], "[0, 1]"),
+            (["serve", "--prefix-tokens", "0", "--no-disk-cache"], "--prefix-tokens"),
+            (["serve", "--prefix-groups", "0", "--no-disk-cache"], "--prefix-groups"),
+            (["serve", "--swap", "--link-gbps", "0", "--no-disk-cache"], "--link-gbps"),
+            (
+                ["serve", "--swap", "--link-gbps", "nan", "--no-disk-cache"],
+                "positive finite",
+            ),
+            (
+                ["serve", "--swap", "--link-gbps", "inf", "--no-disk-cache"],
+                "positive finite",
+            ),
+            (
+                ["serve", "--swap", "--admission", "worst-case", "--no-disk-cache"],
+                "optimistic admission",
+            ),
         ],
     )
     def test_serve_rejects_invalid_arguments(self, argv, message, capsys):
