@@ -182,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="simulate request-level serving of a trace on one backend"
     )
     serve.add_argument("--model", default="gpt2-xl", help="model name (see `repro list`)")
+    serve.add_argument("--models", metavar="NAME[,NAME,...]", default=None,
+                       help="co-hosted model set served from one replica's "
+                            "memory; --model must be a member (it stays the "
+                            "default for requests that name no model). "
+                            "Arrivals draw a model uniformly from the set, "
+                            "and changing the active model prices a weight "
+                            "swap over the host link")
     serve.add_argument("--backend", default="ianus",
                        help="per-replica backend name, e.g. ianus, a100, "
                             "ianus-x4 (see `repro list`)")
@@ -246,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--classes", type=int, default=1,
                        help="priority classes assigned uniformly by the "
                             "trace generator (default 1 = single class)")
+    serve.add_argument("--tenant-slo", metavar="SHARE0[,SHARE1,...]",
+                       default=None,
+                       help="per-class admission shares for tenant isolation "
+                            "(fractions of --max-batch reserved per priority "
+                            "class, e.g. 0.5,0.25); requires --policy "
+                            "priority")
     serve.add_argument("--slo", metavar="S0[,S1,...]", default=None,
                        help="comma-separated per-class latency SLO targets "
                             "in seconds (enables SLO-attainment metrics)")
@@ -416,6 +429,47 @@ def _run_serve(args: argparse.Namespace) -> int:
     except KeyError:
         print(f"unknown model {args.model!r}; see `repro list`", file=sys.stderr)
         return 2
+    model_set = None
+    if args.models is not None:
+        names = [part.strip() for part in args.models.split(",") if part.strip()]
+        if not names:
+            print("--models must name at least one model", file=sys.stderr)
+            return 2
+        unknown = sorted(set(names) - set(ALL_MODELS))
+        if unknown:
+            print(
+                f"unknown model(s) in --models: {', '.join(unknown)}; "
+                f"known models: {', '.join(sorted(ALL_MODELS))}",
+                file=sys.stderr,
+            )
+            return 2
+        if len(set(names)) != len(names):
+            print("--models lists a model more than once", file=sys.stderr)
+            return 2
+        if args.model not in names:
+            print(
+                f"--model {args.model!r} must be a member of the --models "
+                f"set ({', '.join(names)})",
+                file=sys.stderr,
+            )
+            return 2
+        model_set = tuple(get_model(name) for name in names)
+    tenant_shares = None
+    if args.tenant_slo is not None:
+        if args.policy != "priority":
+            print("--tenant-slo reserves admission slots per priority class; "
+                  "it requires --policy priority", file=sys.stderr)
+            return 2
+        try:
+            tenant_shares = tuple(
+                float(part) for part in args.tenant_slo.split(",")
+            )
+        except ValueError:
+            tenant_shares = ()
+        if not tenant_shares:
+            print("--tenant-slo must be comma-separated fractions in [0, 1]",
+                  file=sys.stderr)
+            return 2
     if args.requests < 1:
         print("--requests must be at least 1", file=sys.stderr)
         return 2
@@ -537,10 +591,28 @@ def _run_serve(args: argparse.Namespace) -> int:
             curve=curve, prefix_share=args.prefix_share,
             prefix_tokens=args.prefix_tokens,
             prefix_groups=args.prefix_groups,
+            model_mix=(
+                [(member.name, 1.0) for member in model_set]
+                if model_set is not None
+                else None
+            ),
         )
         trace_gen_s = perf_counter() - trace_start
+        if tenant_shares is not None:
+            from repro.serving import make_policy
+
+            try:
+                policy = make_policy(
+                    "priority", max_batch=args.max_batch,
+                    class_shares=tenant_shares,
+                )
+            except ValueError as error:
+                print(f"--tenant-slo: {error}", file=sys.stderr)
+                return 2
+        else:
+            policy = args.policy
         simulator_kwargs = dict(
-            policy=args.policy,
+            policy=policy,
             max_batch=args.max_batch,
             exact=args.exact,
             batch_share=args.batch_share,
@@ -553,6 +625,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             swap=args.swap,
             link_gbps=args.link_gbps,
             engine=args.engine,
+            models=model_set,
+            num_classes=args.classes,
         )
         cluster = None
         # Failure injection and autoscaling live in the cluster simulator,
@@ -618,6 +692,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             violations = check_invariants(
                 simulator.events, trace,
                 page_tokens=args.page_tokens, admission=admission,
+                default_model=model.name,
             )
             checked = len(simulator.events)
         if violations:
@@ -714,6 +789,8 @@ def _run_list() -> int:
         ("event log (--validate)", "yes", "yes (disables macro/batched fast paths)"),
         ("prefix sharing (--prefix-share)", "yes", "yes (exact-accounting mode)"),
         ("host-DRAM swap (--swap)", "yes", "yes (exact-accounting mode)"),
+        ("co-hosted model set (--models)", "yes", "yes (per-iteration, fast paths stand down)"),
+        ("tenant shares (--tenant-slo)", "yes", "yes"),
         ("arrival-batched underload path", "no", "yes (events off, no sharing/swap)"),
         ("phase profile (--profile)", "yes", "yes"),
     ]

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig17_scalability,
     fig18_strong_scaling,
     kv_hierarchy,
+    multi_tenant,
     prototype_validation,
     serving_throughput,
     tables,
@@ -73,6 +74,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
         "KV page hierarchy: prefix sharing x swap-vs-recompute frontier",
         kv_hierarchy.run,
     ),
+    "multi-tenant": (
+        "multi-model serving: consolidation x router, per-tenant SLOs",
+        multi_tenant.run,
+    ),
     "cost": ("performance/TDP cost analysis", cost_analysis.run),
     "prototype": ("functional validation (FPGA-prototype stand-in)", prototype_validation.run),
     "ablation-overlap": ("scheduling overlap ablation", ablations.run_overlap_ablation),
@@ -100,6 +105,7 @@ SWEEPS: dict[str, Callable[..., Sweep]] = {
     "cluster": cluster_serving.sweep,
     "chaos": chaos_ops.sweep,
     "kv-hierarchy": kv_hierarchy.sweep,
+    "multi-tenant": multi_tenant.sweep,
     "ablation-overlap": ablations.overlap_sweep,
     "ablation-address-mapping": ablations.address_mapping_sweep,
     "ablation-fast-mode": ablations.fast_vs_exact_sweep,

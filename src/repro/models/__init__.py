@@ -11,6 +11,7 @@ from repro.models.flops import (
 from repro.models.transformer import (
     ALL_MODELS,
     BERT_CONFIGS,
+    GEMMA_CONFIGS,
     GPT2_CONFIGS,
     LARGE_GPT_CONFIGS,
     ModelConfig,
@@ -31,6 +32,7 @@ from repro.models.workload import (
 __all__ = [
     "ALL_MODELS",
     "BERT_CONFIGS",
+    "GEMMA_CONFIGS",
     "GPT2_CONFIGS",
     "LARGE_GPT_CONFIGS",
     "ModelConfig",

@@ -36,9 +36,11 @@ __all__ = [
     "block_flops",
     "stage_flops",
     "workload_flops",
+    "model_weight_bytes",
     "FLOPS_PER_SOFTMAX_ELEMENT",
     "FLOPS_PER_LAYERNORM_ELEMENT",
     "FLOPS_PER_GELU_ELEMENT",
+    "FLOPS_PER_ROPE_ELEMENT",
 ]
 
 #: Exponentiate, subtract max, accumulate, divide — per score element.
@@ -47,6 +49,8 @@ FLOPS_PER_SOFTMAX_ELEMENT = 5
 FLOPS_PER_LAYERNORM_ELEMENT = 7
 #: LUT lookup plus linear interpolation — per element.
 FLOPS_PER_GELU_ELEMENT = 4
+#: Rotary embedding: two multiplies and an add per rotated element.
+FLOPS_PER_ROPE_ELEMENT = 3
 
 
 def fc_flops(num_tokens: int, d_in: int, d_out: int) -> float:
@@ -103,6 +107,7 @@ class BlockFlops:
     layernorm: float
     gelu: float
     residual: float
+    rope: float = 0.0
 
     @property
     def fc_total(self) -> float:
@@ -115,7 +120,7 @@ class BlockFlops:
 
     @property
     def vector_total(self) -> float:
-        return self.layernorm + self.gelu + self.residual
+        return self.layernorm + self.gelu + self.residual + self.rope
 
     @property
     def total(self) -> float:
@@ -123,21 +128,42 @@ class BlockFlops:
 
 
 def block_flops(model: ModelConfig, num_tokens: int, kv_length: int) -> BlockFlops:
-    """FLOP breakdown of one block processing ``num_tokens`` new tokens."""
+    """FLOP breakdown of one block processing ``num_tokens`` new tokens.
+
+    Grouped-query attention shrinks only the K/V *projections* (and the KV
+    cache, accounted elsewhere): every query head still attends the full
+    ``kv_length``, so the score/context/softmax terms keep ``num_heads``
+    factors.  A gated MLP adds the third (gate) matrix and the elementwise
+    gate multiply; rotary embeddings rotate the fresh Q and K rows.
+    """
     d = model.embedding_dim
     d_ff = model.ffn_dim
     h = model.num_heads
     hd = model.head_dim
+    kv_d = model.kv_dim
+    if model.gated_mlp:
+        ffn = (
+            2 * fc_flops(num_tokens, d, d_ff)  # gate and up projections
+            + fc_flops(num_tokens, d_ff, d)
+        )
+        activation = gelu_flops(num_tokens, d_ff) + float(num_tokens * d_ff)
+    else:
+        ffn = fc_flops(num_tokens, d, d_ff) + fc_flops(num_tokens, d_ff, d)
+        activation = gelu_flops(num_tokens, d_ff)
+    rope = 0.0
+    if model.position_embedding == "rope":
+        rope = FLOPS_PER_ROPE_ELEMENT * num_tokens * (d + kv_d)
     return BlockFlops(
-        qkv=fc_flops(num_tokens, d, 3 * d),
+        qkv=fc_flops(num_tokens, d, d + 2 * kv_d),
         attention_scores=h * attention_score_flops(num_tokens, kv_length, hd),
         attention_context=h * attention_context_flops(num_tokens, kv_length, hd),
         attention_output=fc_flops(num_tokens, d, d),
-        ffn=fc_flops(num_tokens, d, d_ff) + fc_flops(num_tokens, d_ff, d),
+        ffn=ffn,
         softmax=h * softmax_flops(num_tokens, kv_length),
         layernorm=2 * layernorm_flops(num_tokens, d),
-        gelu=gelu_flops(num_tokens, d_ff),
+        gelu=activation,
         residual=2 * residual_add_flops(num_tokens, d),
+        rope=rope,
     )
 
 
@@ -168,3 +194,13 @@ def stage_weight_bytes(model: ModelConfig, stage: Stage) -> int:
         total += model.lm_head_params * BYTES_PER_ELEMENT
     del stage  # the same weights are read in both stages
     return total
+
+
+def model_weight_bytes(model: ModelConfig) -> int:
+    """Bytes streamed when a replica swaps ``model`` in as its active model.
+
+    A weight swap must move the *whole* parameter footprint — embeddings
+    and norms included, not just the FC weights a single pass reads — so
+    this is the model's total parameter footprint at BF16.
+    """
+    return model.param_bytes

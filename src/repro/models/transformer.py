@@ -21,6 +21,7 @@ __all__ = [
     "GPT2_CONFIGS",
     "BERT_CONFIGS",
     "LARGE_GPT_CONFIGS",
+    "GEMMA_CONFIGS",
     "ALL_MODELS",
     "get_model",
 ]
@@ -58,6 +59,19 @@ class ModelConfig:
         Vocabulary used by the embedding table and LM head.
     ffn_expansion:
         Width multiplier of the feed-forward network (4 for every model).
+    num_kv_heads:
+        Key/value heads for grouped-query attention (GQA).  ``None`` (the
+        default) means multi-head attention: one KV head per query head.
+        Fewer KV heads shrink the K/V projections and the per-token KV
+        cache; query heads share KV groups, so attention math per query
+        is unchanged.
+    gated_mlp:
+        ``True`` models a SiLU-gated FFN (gate, up and down projections —
+        three matrices instead of two, plus the elementwise gate).
+    position_embedding:
+        ``"learned"`` (a trained position table next to the token
+        embedding) or ``"rope"`` (rotary embeddings — no table, a small
+        per-pass rotation of Q and K instead).
     """
 
     name: str
@@ -70,6 +84,9 @@ class ModelConfig:
     ffn_expansion: int = 4
     max_sequence_length: int = 2048
     workload: str = "language-modeling"
+    num_kv_heads: "int | None" = None
+    gated_mlp: bool = False
+    position_embedding: str = "learned"
 
     def __post_init__(self) -> None:
         if self.embedding_dim <= 0 or self.num_blocks <= 0:
@@ -80,6 +97,22 @@ class ModelConfig:
                 f"({self.num_heads} * {self.head_dim}) must equal "
                 f"embedding_dim ({self.embedding_dim})"
             )
+        if self.num_kv_heads is not None:
+            if not 1 <= self.num_kv_heads <= self.num_heads:
+                raise ValueError(
+                    f"{self.name}: num_kv_heads ({self.num_kv_heads}) must "
+                    f"be in [1, num_heads={self.num_heads}]"
+                )
+            if self.num_heads % self.num_kv_heads != 0:
+                raise ValueError(
+                    f"{self.name}: num_kv_heads ({self.num_kv_heads}) must "
+                    f"divide num_heads ({self.num_heads}) evenly"
+                )
+        if self.position_embedding not in ("learned", "rope"):
+            raise ValueError(
+                f"{self.name}: position_embedding must be 'learned' or "
+                f"'rope', got {self.position_embedding!r}"
+            )
 
     # ------------------------------------------------------------------
     # Per-block parameter counts
@@ -89,9 +122,19 @@ class ModelConfig:
         return self.embedding_dim * self.ffn_expansion
 
     @property
+    def kv_heads(self) -> int:
+        """Key/value heads: ``num_kv_heads`` under GQA, else ``num_heads``."""
+        return self.num_kv_heads if self.num_kv_heads is not None else self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K (and V) projection output."""
+        return self.kv_heads * self.head_dim
+
+    @property
     def qkv_params_per_block(self) -> int:
         """Parameters of the Q, K and V projection matrices of one block."""
-        return 3 * self.embedding_dim * self.embedding_dim
+        return self.embedding_dim * (self.embedding_dim + 2 * self.kv_dim)
 
     @property
     def attention_output_params_per_block(self) -> int:
@@ -100,8 +143,9 @@ class ModelConfig:
 
     @property
     def ffn_params_per_block(self) -> int:
-        """Parameters of the two FFN matrices of one block."""
-        return 2 * self.embedding_dim * self.ffn_dim
+        """Parameters of the FFN matrices of one block (three when gated)."""
+        matrices = 3 if self.gated_mlp else 2
+        return matrices * self.embedding_dim * self.ffn_dim
 
     @property
     def fc_params_per_block(self) -> int:
@@ -126,8 +170,15 @@ class ModelConfig:
     # ------------------------------------------------------------------
     @property
     def embedding_params(self) -> int:
-        """Token embedding plus (learned) position embedding parameters."""
-        return (self.vocab_size + self.max_sequence_length) * self.embedding_dim
+        """Token embedding plus (learned) position embedding parameters.
+
+        Rotary position embeddings have no trained table: only the token
+        embedding counts.
+        """
+        positions = (
+            0 if self.position_embedding == "rope" else self.max_sequence_length
+        )
+        return (self.vocab_size + positions) * self.embedding_dim
 
     @property
     def lm_head_params(self) -> int:
@@ -167,8 +218,12 @@ class ModelConfig:
     # ------------------------------------------------------------------
     @property
     def kv_bytes_per_token_per_block(self) -> int:
-        """Bytes added to the KV cache per generated token per block."""
-        return 2 * self.embedding_dim * BYTES_PER_ELEMENT
+        """Bytes added to the KV cache per generated token per block.
+
+        GQA stores one K and one V entry per *KV* head, so fewer KV heads
+        mean a proportionally smaller cache.
+        """
+        return 2 * self.kv_dim * BYTES_PER_ELEMENT
 
     def kv_cache_bytes(self, sequence_length: int) -> int:
         """Total KV-cache footprint for a given context length."""
@@ -184,10 +239,21 @@ class ModelConfig:
 
     def describe(self) -> str:
         """Single-line human readable description used in reports."""
+        heads = f"heads={self.num_heads}x{self.head_dim}"
+        if self.kv_heads != self.num_heads:
+            heads += f" (kv={self.kv_heads})"
+        extras = "".join(
+            f", {note}"
+            for note, active in (
+                ("gated-mlp", self.gated_mlp),
+                ("rope", self.position_embedding == "rope"),
+            )
+            if active
+        )
         return (
-            f"{self.name}: d={self.embedding_dim}, heads={self.num_heads}x"
-            f"{self.head_dim}, blocks={self.num_blocks}, "
-            f"params={self.num_params / 1e6:.0f}M"
+            f"{self.name}: d={self.embedding_dim}, {heads}, "
+            f"blocks={self.num_blocks}, "
+            f"params={self.num_params / 1e6:.0f}M{extras}"
         )
 
 
@@ -241,10 +307,47 @@ LARGE_GPT_CONFIGS: dict[str, ModelConfig] = {
     "30b": _gpt("gpt-30b", 7168, 128, 56, 48),
 }
 
+#: Modern decoder variants (beyond the paper): grouped-query attention,
+#: SiLU-gated MLPs and rotary position embeddings, the operator set of the
+#: related npu_model program library (Gemma-style attention, RoPE,
+#: SiLU-gate).  They make a co-hosted model set architecturally
+#: heterogeneous — different parameter footprints *and* different KV bytes
+#: per token.
+GEMMA_CONFIGS: dict[str, ModelConfig] = {
+    "1b": ModelConfig(
+        name="gemma-1b",
+        family=ModelFamily.GPT,
+        embedding_dim=1536,
+        head_dim=128,
+        num_heads=12,
+        num_blocks=24,
+        vocab_size=32768,
+        num_kv_heads=4,
+        gated_mlp=True,
+        position_embedding="rope",
+        workload="language-modeling",
+    ),
+    "2b": ModelConfig(
+        name="gemma-2b",
+        family=ModelFamily.GPT,
+        embedding_dim=2048,
+        head_dim=128,
+        num_heads=16,
+        num_blocks=26,
+        vocab_size=32768,
+        ffn_expansion=6,
+        num_kv_heads=4,
+        gated_mlp=True,
+        position_embedding="rope",
+        workload="language-modeling",
+    ),
+}
+
 ALL_MODELS: dict[str, ModelConfig] = {
     **{f"gpt2-{k}": v for k, v in GPT2_CONFIGS.items()},
     **{f"bert-{k}": v for k, v in BERT_CONFIGS.items()},
     **{f"gpt-{k}": v for k, v in LARGE_GPT_CONFIGS.items()},
+    **{f"gemma-{k}": v for k, v in GEMMA_CONFIGS.items()},
 }
 
 

@@ -162,7 +162,8 @@ class ArraySimulationRun:
             )
         self.events: "list[SimEvent] | None" = [] if record_events else None
         if kv_bounds is not None:
-            sim.provider.prepare(*kv_bounds)
+            for provider in sim.providers.values():
+                provider.prepare(*kv_bounds)
 
         # Decode-cost table (dense lists + prefix sums); absent under
         # exact pricing or unknown KV bounds, in which case every decode
@@ -192,6 +193,7 @@ class ArraySimulationRun:
         self._held: list = []
         self._pfx: list = []
         self._pft: list = []
+        self._mdl: list = []
         self._free: list = []
         # Typed shadows of the immutable-per-row columns (arrival, prompt,
         # output).  They expose the buffer protocol, so the arrival
@@ -224,6 +226,13 @@ class ArraySimulationRun:
         self._done_completion = array("d")
         self._done_out = array("q")
         self._done_cls = array("q") if sim.slo_targets is not None else None
+        # Pooled model indices (multi-model runs with SLO targets only):
+        # feeds the per-(model, class) attainment table at finalization.
+        self._done_mdl = (
+            array("q")
+            if sim.multi_model and sim.slo_targets is not None
+            else None
+        )
         # Bound append methods: _record_completion runs once per request.
         self._push_done = (
             self._done_arrival.append,
@@ -272,6 +281,11 @@ class ArraySimulationRun:
         self._policy_cap = (
             1 if isinstance(policy, FcfsPolicy) else policy.max_batch
         )
+        # Per-class admission reservations (tenant isolation); None keeps
+        # the legacy admission order bit for bit.
+        self._shares = (
+            policy._reservations if self._ptype is PriorityPolicy else None
+        )
         self._page_tokens = self.kv.page_tokens
         self._is_decoder = sim.model.is_decoder
         self._optimistic = sim.admission == "optimistic"
@@ -279,9 +293,35 @@ class ArraySimulationRun:
         # True when _step may take the monolithic-prefill shortcut: the
         # conditions are all fixed for the lifetime of the run.
         self._mono_fast = (
-            sim.chunk_tokens == 0 and self.events is None and self._arrival_order
+            sim.chunk_tokens == 0
+            and self.events is None
+            and self._arrival_order
+            and not sim.multi_model
         )
         self._chunk_costs: dict = {}
+        # Multi-model residency: the per-iteration loop restricts each
+        # pass to the resident model's rows and pays a weight swap when
+        # the active model changes (the row twin of the object engine's
+        # sticky-resident scheduling).  The decode table prices the
+        # default model only, so a non-default resident stands the table
+        # down and prices through its own provider; the base and
+        # chunk-cost caches swap with the weights.
+        self._multi = sim.multi_model
+        self.resident_model = sim.model.name
+        self._provider = sim.provider
+        self.model_swaps = 0
+        self.model_swap_s = 0.0
+        if self._multi:
+            self._tbl_bounds = (self._tbl_lo, self._tbl_hi)
+            self._bases: dict = (
+                {} if self._base is None else {sim.model.name: self._base}
+            )
+            self._chunks_by_model = {sim.model.name: self._chunk_costs}
+            self._model_names = tuple(member.name for member in sim.models)
+            self._model_pos = {
+                name: position
+                for position, name in enumerate(self._model_names)
+            }
         # Arrival-batched absorption gates (fixed for the run's lifetime).
         # _absorb_ok: whole idle-device arrival windows may be served in
         # closed form.  Requires monolithic prefill and no event log; a
@@ -297,6 +337,7 @@ class ArraySimulationRun:
             and self.events is None
             and sim.chunk_tokens == 0
             and not self._exact_kv
+            and not sim.multi_model
             and (self._floor_free or self._lat is None)
         )
         # _fcfs_absorb: concurrency-1 arrival-order service is a Lindley
@@ -351,7 +392,7 @@ class ArraySimulationRun:
 
     def _base_cost(self) -> tuple:
         if self._base is None:
-            cost = self.sim.provider.base()
+            cost = self._provider.base()
             self._base = (
                 cost.latency_s,
                 cost.energy.normal_memory_j,
@@ -359,6 +400,8 @@ class ArraySimulationRun:
                 cost.energy.npu_cores_j,
                 cost.flops,
             )
+            if self._multi:
+                self._bases[self.resident_model] = self._base
         return self._base
 
     # ------------------------------------------------------------------
@@ -381,6 +424,7 @@ class ArraySimulationRun:
             self._held[row] = 0
             self._pfx[row] = request.prefix_id
             self._pft[row] = request.prefix_tokens
+            self._mdl[row] = request.model
             return row
         row = len(self._arr)
         self._arr.append(request.arrival_s)
@@ -397,6 +441,7 @@ class ArraySimulationRun:
         self._held.append(0)
         self._pfx.append(request.prefix_id)
         self._pft.append(request.prefix_tokens)
+        self._mdl.append(request.model)
         return row
 
     def _request(self, row: int) -> Request:
@@ -408,6 +453,7 @@ class ArraySimulationRun:
             priority_class=self._cls[row],
             prefix_id=self._pfx[row],
             prefix_tokens=self._pft[row],
+            model=self._mdl[row],
         )
 
     def _pages_for(self, tokens: int) -> int:
@@ -422,7 +468,14 @@ class ArraySimulationRun:
             raise ValueError("cannot offer a request to a finished run")
         if self.dead:
             raise ValueError("cannot offer a request to a failed replica")
-        if not self._is_decoder and request.output_tokens > 1:
+        if request.model:
+            config = self.sim._config_for(request)
+            if not config.is_decoder and request.output_tokens > 1:
+                raise ValueError(
+                    f"{config.name} is not a decoder; serving traces for it "
+                    "must be summarization-only (output_tokens == 1)"
+                )
+        elif not self._is_decoder and request.output_tokens > 1:
             raise ValueError(
                 f"{self.sim.model.name} is not a decoder; serving traces for it "
                 "must be summarization-only (output_tokens == 1)"
@@ -478,6 +531,7 @@ class ArraySimulationRun:
         held = self._held
         pfx = self._pfx
         pft = self._pft
+        mdl = self._mdl
         free = self._free
         pop = free.pop
         is_decoder = self._is_decoder
@@ -492,7 +546,14 @@ class ArraySimulationRun:
             arrival = request.arrival_s
             request_id = request.request_id
             output_tokens = request.output_tokens
-            if not is_decoder and output_tokens > 1:
+            if request.model:
+                config = self.sim._config_for(request)
+                if not config.is_decoder and output_tokens > 1:
+                    raise ValueError(
+                        f"{config.name} is not a decoder; serving traces "
+                        "for it must be summarization-only (output_tokens == 1)"
+                    )
+            elif not is_decoder and output_tokens > 1:
                 raise ValueError(
                     f"{self.sim.model.name} is not a decoder; serving traces "
                     "for it must be summarization-only (output_tokens == 1)"
@@ -522,6 +583,7 @@ class ArraySimulationRun:
                 held[row] = 0
                 pfx[row] = request.prefix_id
                 pft[row] = request.prefix_tokens
+                mdl[row] = request.model
             else:
                 row = len(arr)
                 arr.append(arrival)
@@ -538,6 +600,7 @@ class ArraySimulationRun:
                 held.append(0)
                 pfx.append(request.prefix_id)
                 pft.append(request.prefix_tokens)
+                mdl.append(request.model)
             push(row)
             added += 1
             outstanding += input_tokens + output_tokens
@@ -574,7 +637,17 @@ class ArraySimulationRun:
                     "requests must be offered in (arrival_s, request_id) order"
                 )
         outs = [r.output_tokens for r in requests]
-        if not self._is_decoder and max(outs) > 1:
+        mdls = [r.model for r in requests]
+        if any(mdls):
+            sim = self.sim
+            for r in requests:
+                config = sim._config_for(r)
+                if not config.is_decoder and r.output_tokens > 1:
+                    raise ValueError(
+                        f"{config.name} is not a decoder; serving traces "
+                        "for it must be summarization-only (output_tokens == 1)"
+                    )
+        elif not self._is_decoder and max(outs) > 1:
             raise ValueError(
                 f"{self.sim.model.name} is not a decoder; serving traces "
                 "for it must be summarization-only (output_tokens == 1)"
@@ -596,6 +669,7 @@ class ArraySimulationRun:
         self._held += [0] * n
         self._pfx += pfxs
         self._pft += [r.prefix_tokens for r in requests]
+        self._mdl += mdls
         self._arr_t.frombytes(np_arr.tobytes())
         np_inp = np.array(inps, dtype=np.int64)
         np_out = np.array(outs, dtype=np.int64)
@@ -662,6 +736,7 @@ class ArraySimulationRun:
         request_id: "int | None" = None,
         tokens: int = 0,
         decode_ids: tuple = (),
+        model: str = "",
     ) -> None:
         if self.events is not None:
             self.events.append(
@@ -676,6 +751,7 @@ class ArraySimulationRun:
                     waiting=len(self.waiting),
                     kv_reserved_pages=self.kv.reserved_pages,
                     kv_total_pages=self.kv.total_pages,
+                    model=model,
                 )
             )
 
@@ -704,6 +780,39 @@ class ArraySimulationRun:
                     best, best_key = i, key
             return best
         return 0
+
+    def _admit_allowed(self) -> "list[int]":
+        """Waiting indices admissible under the per-class reservations —
+        the row twin of ``PriorityPolicy.admit_filter`` (integer logic,
+        so the admitted order is bit-equal to the object engine's)."""
+        reserved = self._shares
+        cls = self._cls
+        active_by_class: "dict[int, int]" = {}
+        for row in self.active:
+            c = cls[row]
+            active_by_class[c] = active_by_class.get(c, 0) + 1
+        waiting_classes = {cls[row] for row in self.waiting}
+        total = len(self.active)
+        max_batch = self._policy_cap
+        allowed: "list[int]" = []
+        for index, row in enumerate(self.waiting):
+            c = cls[row]
+            quota = reserved[c] if c < len(reserved) else 0
+            if active_by_class.get(c, 0) < quota:
+                allowed.append(index)
+                continue
+            pending = sum(
+                max(
+                    0,
+                    (reserved[other] if other < len(reserved) else 0)
+                    - active_by_class.get(other, 0),
+                )
+                for other in waiting_classes
+                if other != c
+            )
+            if total + pending < max_batch:
+                allowed.append(index)
+        return allowed
 
     def _remaining(self, row: int) -> int:
         return (self._inp[row] - self._prefilled[row]) + (
@@ -755,7 +864,7 @@ class ArraySimulationRun:
                 self._en[index],
                 self._fl[index],
             )
-        cost = self.sim.provider.decode(kv)
+        cost = self._provider.decode(kv)
         return (
             cost.latency_s,
             cost.energy.normal_memory_j,
@@ -768,7 +877,7 @@ class ArraySimulationRun:
         key = (prefix, chunk)
         cached = self._chunk_costs.get(key)
         if cached is None:
-            cost = self.sim.provider.prefill_chunk(prefix, chunk)
+            cost = self._provider.prefill_chunk(prefix, chunk)
             cached = (
                 cost.latency_s,
                 cost.energy.normal_memory_j,
@@ -836,7 +945,12 @@ class ArraySimulationRun:
         cap = self._policy_cap
         # Exact mode (sharing/swap) may have been entered by an offer since
         # the last advance; the fast paths stand down from then on.
-        macro_ok = self.events is None and self._floor_free and not self._exact_kv
+        macro_ok = (
+            self.events is None
+            and self._floor_free
+            and not self._exact_kv
+            and not self._multi
+        )
         absorb_ok = self._absorb_ok and not self._exact_kv
         while True:
             while pending and arr[pending[0]] <= self.clock:
@@ -920,8 +1034,17 @@ class ArraySimulationRun:
         cap = self._policy_cap
         arrival_order = self._arrival_order
         page_tokens = self._page_tokens
+        shares = self._shares
         while waiting and len(active) < cap:
-            index = 0 if arrival_order else self._admit_index(waiting)
+            if shares is None:
+                index = 0 if arrival_order else self._admit_index(waiting)
+            else:
+                allowed = self._admit_allowed()
+                if not allowed:
+                    break
+                index = allowed[
+                    self._admit_index([waiting[i] for i in allowed])
+                ]
             row = waiting[index]
             total = self._inp[row] + self._out[row]
             total_pages = -(-total // page_tokens)
@@ -960,8 +1083,17 @@ class ArraySimulationRun:
         optimistic = self._optimistic
         cap = self._policy_cap
         arrival_order = self._arrival_order
+        shares = self._shares
         while waiting and len(active) < cap:
-            index = 0 if arrival_order else self._admit_index(waiting)
+            if shares is None:
+                index = 0 if arrival_order else self._admit_index(waiting)
+            else:
+                allowed = self._admit_allowed()
+                if not allowed:
+                    break
+                index = allowed[
+                    self._admit_index([waiting[i] for i in allowed])
+                ]
             row = waiting[index]
             total = self._inp[row] + self._out[row]
             if not kv.fits_alone(total):
@@ -1074,6 +1206,57 @@ class ArraySimulationRun:
             self.kv.reserved_pages -= self._held[row]
         self._held[row] = 0
 
+    # ------------------------------------------------------------------
+    # Multi-model residency (mirror of the object engine's sticky-resident
+    # scheduling; only reached when the simulator hosts a model set)
+    # ------------------------------------------------------------------
+    def _model_of_row(self, row: int) -> str:
+        """The model a row runs on ("" in a request means the default)."""
+        return self._mdl[row] or self.sim.model.name
+
+    def _sync_model(self) -> None:
+        """Swap weights when no resident-model work is runnable."""
+        resident = self.resident_model
+        mdl = self._mdl
+        default = self.sim.model.name
+        for row in self.active:
+            if (mdl[row] or default) == resident:
+                return
+        generated = self._generated
+        prefilling = [row for row in self.active if generated[row] == 0]
+        if prefilling:
+            target = prefilling[self._prefill_index(prefilling)]
+        else:
+            decodable = [row for row in self.active if generated[row] > 0]
+            batch = self._decode_batch(decodable)
+            target = batch[0] if batch else decodable[0]
+        self._swap_model(mdl[target] or default)
+
+    def _swap_model(self, target: str) -> None:
+        """Stream ``target``'s weights in over the host link (weight swap).
+
+        Beyond the object engine's bookkeeping, the row engine re-points
+        its cost caches: the decode table prices the default model only,
+        so a non-default resident stands it down and prices through its
+        own provider, and the base/chunk caches follow the weights.
+        """
+        sim = self.sim
+        moved = sim._weight_bytes[target]
+        latency = moved * 8.0 / (sim.link_gbps * 1e9)
+        self.clock += latency
+        self.busy += latency
+        self.resident_model = target
+        self._provider = sim.providers[target]
+        self.model_swaps += 1
+        self.model_swap_s += latency
+        if target == sim.model.name:
+            self._tbl_lo, self._tbl_hi = self._tbl_bounds
+        else:
+            self._tbl_lo, self._tbl_hi = 1, 0
+        self._base = self._bases.get(target)
+        self._chunk_costs = self._chunks_by_model.setdefault(target, {})
+        self._emit("model_swap", latency=latency, tokens=moved, model=target)
+
     def _step(self) -> None:
         """One device iteration — the per-iteration (bit-exact) path."""
         generated = self._generated
@@ -1092,7 +1275,22 @@ class ArraySimulationRun:
                     )
                     return
         sim = self.sim
-        if self._num_prefilling == 0:
+        if self._multi:
+            # Sticky-resident scheduling: restrict the pass to the
+            # resident model's rows, paying a weight swap first when the
+            # resident model has nothing runnable (object-engine mirror).
+            self._sync_model()
+            resident = self.resident_model
+            mdl = self._mdl
+            default = sim.model.name
+            eligible = [
+                row
+                for row in self.active
+                if (mdl[row] or default) == resident
+            ]
+            prefilling = [row for row in eligible if generated[row] == 0]
+            decodable = [row for row in eligible if generated[row] > 0]
+        elif self._num_prefilling == 0:
             prefilling: list[int] = []
             decodable = self.active
         else:
@@ -2083,6 +2281,7 @@ class ArraySimulationRun:
                     output_tokens=self._out[row],
                     priority_class=self._cls[row],
                     slo_s=slo_s,
+                    model=self._mdl[row],
                 )
             )
         else:
@@ -2093,6 +2292,10 @@ class ArraySimulationRun:
             push_out(self._out[row])
             if push_cls is not None:
                 push_cls(self._cls[row])
+            if self._done_mdl is not None:
+                self._done_mdl.append(
+                    self._model_pos[self._mdl[row] or self.sim.model.name]
+                )
         self._free.append(row)
 
     def finish(self) -> ServingMetrics:
@@ -2160,6 +2363,7 @@ class ArraySimulationRun:
 
         slo_attainment: "float | None" = None
         slo_by_class: dict[str, float] = {}
+        slo_by_model_class: dict[str, float] = {}
         if sim.slo_targets is not None:
             if count:
                 classes = np.asarray(self._done_cls)
@@ -2171,6 +2375,24 @@ class ArraySimulationRun:
                     str(int(cls)): float(met[classes == cls].mean())
                     for cls in np.unique(classes)
                 }
+                if self._done_mdl is not None:
+                    names = self._model_names
+                    model_idx = np.asarray(self._done_mdl)
+                    pairs = sorted(
+                        {
+                            (names[int(m)], int(c))
+                            for m, c in zip(model_idx, classes)
+                        }
+                    )
+                    slo_by_model_class = {
+                        f"{name}/{cls}": float(
+                            met[
+                                (model_idx == self._model_pos[name])
+                                & (classes == cls)
+                            ].mean()
+                        )
+                        for name, cls in pairs
+                    }
             else:
                 slo_attainment = 1.0
 
@@ -2219,6 +2441,10 @@ class ArraySimulationRun:
             kv_budget_bytes=kv.budget_bytes,
             slo_attainment=slo_attainment,
             slo_by_class=slo_by_class,
+            models=self._model_names if self._multi else (),
+            model_swaps=self.model_swaps,
+            model_swap_s=self.model_swap_s,
+            slo_by_model_class=slo_by_model_class,
             per_request=(),
         )
 

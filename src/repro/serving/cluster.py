@@ -97,6 +97,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastOutstandingTokensRouter",
     "KvAwareRouter",
+    "ModelAwareRouter",
     "ROUTERS",
     "make_router",
     "ClusterMetrics",
@@ -127,6 +128,11 @@ class ReplicaSnapshot:
     #: this replica (0 when the request shares nothing or the prefix is
     #: absent) — those pages would cost the request nothing here.
     resident_prefix_pages: int = 0
+    #: Model whose weights are resident on the replica right now,
+    #: normalized like :attr:`Request.model` (empty string = the cluster's
+    #: default model).  Routing a request here costs no weight swap iff
+    #: this equals the request's ``model`` field.
+    resident_model: str = ""
 
 
 class Router:
@@ -201,11 +207,38 @@ class KvAwareRouter(Router):
         ).index
 
 
+class ModelAwareRouter(Router):
+    """Route on (resident model, load, KV): swap avoidance first.
+
+    Prefers replicas whose resident weights already match the arriving
+    request's model (a mismatch costs a full weight swap on the replica's
+    next pass for that request), then the least outstanding tokens among
+    them, then the most effective free KV pages, then the lowest index.
+    With a single-model set every replica always matches, so this
+    degrades to exactly the least-outstanding-tokens rule with a KV
+    tie-break — the model term never reorders a model-blind fleet.
+    """
+
+    name = "model-aware"
+
+    def select(self, replicas, request):
+        return min(
+            replicas,
+            key=lambda state: (
+                0 if state.resident_model == request.model else 1,
+                state.outstanding_tokens,
+                -(state.free_kv_pages + state.resident_prefix_pages),
+                state.index,
+            ),
+        ).index
+
+
 #: Router registry: CLI/experiment name -> class, in presentation order.
 ROUTERS: dict[str, type[Router]] = {
     "round-robin": RoundRobinRouter,
     "least-outstanding-tokens": LeastOutstandingTokensRouter,
     "kv-aware": KvAwareRouter,
+    "model-aware": ModelAwareRouter,
 }
 
 
@@ -286,7 +319,8 @@ class ClusterMetrics:
     #: Requests / tokens routed to each replica, in replica order.
     routed_requests: tuple[int, ...]
     routed_tokens: tuple[int, ...]
-    #: max/min routed tokens over replicas (inf when a replica got nothing).
+    #: max/min routed tokens over the replicas that received at least one
+    #: request (1.0 when fewer than two replicas did).
     load_imbalance: float
     #: Cluster-wide instantaneous KV peak (summed across replicas).
     kv_peak_pages: int
@@ -308,6 +342,16 @@ class ClusterMetrics:
     peak_replicas: int = 0
     #: Modeled warm-up a spawned replica pays before serving.
     warmup_s: float = 0.0
+    #: Names of the co-hosted model set; empty for single-model clusters
+    #: (the pre-multi-model representation is preserved byte for byte).
+    models: tuple = ()
+    #: Weight swaps paid across replicas when active models changed.
+    model_swaps: int = 0
+    #: Summed simulated seconds replicas spent streaming model weights.
+    model_swap_s: float = 0.0
+    #: Pooled per-(model, class) SLO attainment, keyed ``"model/class"`` —
+    #: populated only for multi-model clusters with SLO targets.
+    slo_by_model_class: dict = field(default_factory=dict)
     per_replica: tuple[ServingMetrics, ...] = field(default_factory=tuple)
     per_request: tuple[RequestMetrics, ...] = field(default_factory=tuple)
 
@@ -361,6 +405,14 @@ class ClusterMetrics:
             "peak_replicas": self.peak_replicas,
             "warmup_s": self.warmup_s,
         }
+        if len(self.models) > 1:
+            # Multi-model keys appear only for real model sets, so a
+            # single-model cluster's dict matches the pre-multi-model
+            # layout.
+            data["models"] = list(self.models)
+            data["model_swaps"] = self.model_swaps
+            data["model_swap_s"] = self.model_swap_s
+            data["slo_by_model_class"] = self.slo_by_model_class
         if include_replicas:
             data["per_replica"] = [
                 metrics.to_dict(include_requests=False)
@@ -378,10 +430,7 @@ class ClusterMetrics:
                 zip(self.routed_requests, self.routed_tokens)
             )
         )
-        imbalance = (
-            "inf" if self.load_imbalance == float("inf")
-            else f"{self.load_imbalance:.2f}x"
-        )
+        imbalance = f"{self.load_imbalance:.2f}x"
         lines = [
             f"cluster         : {self.num_replicas} x {self.backend} "
             f"(router {self.router}, {self.admission} admission)",
@@ -408,6 +457,12 @@ class ClusterMetrics:
             "pages (summed across replicas)",
             f"dynamic energy  : {self.energy_j * 1e3:.1f} mJ",
         ]
+        if len(self.models) > 1:
+            lines.append(
+                f"model set       : {', '.join(self.models)} "
+                f"({self.model_swaps} weight swaps, "
+                f"{self.model_swap_s:.3f} s streaming)"
+            )
         if self.failure_schedule != "none" or self.autoscaler != "fixed":
             lines.append(
                 f"ops             : {self.failures} failure(s) "
@@ -451,6 +506,11 @@ def _snapshot(
     resident = 0
     if request is not None and request.prefix_id >= 0:
         resident = run.kv.resident_prefix_pages(request.prefix_id)
+    # Report the resident model in Request.model's convention (empty =
+    # default), so routers can compare it to request.model directly.
+    resident_model = run.resident_model
+    if resident_model == run.sim.model.name:
+        resident_model = ""
     return ReplicaSnapshot(
         index=index,
         outstanding_requests=run.outstanding_requests,
@@ -460,6 +520,7 @@ def _snapshot(
         routed_requests=len(assignments[index]),
         routed_tokens=routed_tokens[index],
         resident_prefix_pages=resident,
+        resident_model=resident_model,
     )
 
 
@@ -612,7 +673,11 @@ class _OpsState:
         self.runs[index].recover(event.time_s)
         self.alive[index] = True
         self.recoveries += 1
-        self.open_clock[index] = event.time_s
+        # The failure already billed through the straddling pass's end
+        # (run.clock at the fail), which can lie past a fast recovery —
+        # reopening earlier would bill that overlap twice.  recover()
+        # leaves run.clock at max(billed end, recovery instant).
+        self.open_clock[index] = self.runs[index].clock
         self._note_peak()
 
     def _note_peak(self) -> None:
@@ -1062,6 +1127,7 @@ class ClusterSimulator:
                 page_tokens=reference.page_tokens,
                 admission=reference.admission,
                 initial_replicas=self._initial_count,
+                default_model=self.model.name,
             )
         violations: list[str] = []
         for index, (events, assigned) in enumerate(
@@ -1075,6 +1141,7 @@ class ClusterSimulator:
                     assigned,
                     page_tokens=replica.page_tokens,
                     admission=replica.admission,
+                    default_model=self.model.name,
                 )
             )
         return violations
@@ -1101,25 +1168,30 @@ class ClusterSimulator:
             last_completion = max(m.completion_s for m in pooled)
             makespan = last_completion - ordered[0].arrival_s
         busy = sum(metrics.busy_s for metrics in per_replica)
+        # One definition of utilization for both paths: summed busy over
+        # summed provisioned replica-seconds.  The paths differ only in
+        # where replica_seconds comes from — metered billing segments
+        # under ops, R x makespan for a fixed fleet (a fleet with an
+        # inert schedule meters to exactly R x makespan, so the two
+        # agree wherever both apply).
         if ops is not None:
             ops.close_out(last_completion)
             replica_seconds = sum(ops.seconds)
             peak_replicas = ops.peak_replicas
-            utilization = busy / replica_seconds if replica_seconds > 0 else 0.0
         else:
             replica_seconds = len(per_replica) * makespan
             peak_replicas = len(per_replica)
-            utilization = (
-                busy / (len(per_replica) * makespan) if makespan > 0 else 0.0
-            )
+        utilization = busy / replica_seconds if replica_seconds > 0 else 0.0
         output_tokens = sum(metrics.output_tokens for metrics in per_replica)
         latencies = [metrics.latency_s for metrics in pooled]
         ttfts = [metrics.ttft_s for metrics in pooled]
         tpots = [metrics.tpot_s for metrics in pooled if metrics.output_tokens > 1]
         mean = lambda values: sum(values) / len(values) if values else 0.0  # noqa: E731
         scored = [metrics for metrics in pooled if metrics.slo_s > 0.0]
+        models = per_replica[0].models
         slo_attainment: "float | None" = None
         slo_by_class: dict[str, float] = {}
+        slo_by_model_class: dict[str, float] = {}
         if any(metrics.slo_attainment is not None for metrics in per_replica):
             if scored:
                 slo_attainment = mean([1.0 if m.slo_met else 0.0 for m in scored])
@@ -1133,15 +1205,36 @@ class ClusterSimulator:
                     )
                     for cls in sorted({m.priority_class for m in scored})
                 }
+                if len(models) > 1:
+                    pairs = sorted(
+                        {
+                            (m.model or self.model.name, m.priority_class)
+                            for m in scored
+                        }
+                    )
+                    slo_by_model_class = {
+                        f"{name}/{cls}": mean(
+                            [
+                                1.0 if m.slo_met else 0.0
+                                for m in scored
+                                if (m.model or self.model.name) == name
+                                and m.priority_class == cls
+                            ]
+                        )
+                        for name, cls in pairs
+                    }
             else:
                 slo_attainment = 1.0
-        max_tokens, min_tokens = max(routed_tokens), min(routed_tokens)
-        if max_tokens == 0:
+        # Imbalance is a skew ratio over the replicas that actually
+        # participated in routing.  A replica that never received an
+        # arrival (spawned after the trace drained, or dead before its
+        # first request) says nothing about routing skew — including it
+        # used to render the ratio as a meaningless ``inf``.
+        routed_nonzero = [tokens for tokens in routed_tokens if tokens > 0]
+        if len(routed_nonzero) < 2:
             imbalance = 1.0
-        elif min_tokens == 0:
-            imbalance = float("inf")
         else:
-            imbalance = max_tokens / min_tokens
+            imbalance = max(routed_nonzero) / min(routed_nonzero)
         if self.events is not None and all(
             events is not None for events in self.events
         ):
@@ -1201,6 +1294,10 @@ class ClusterSimulator:
             replica_seconds=replica_seconds,
             peak_replicas=peak_replicas,
             warmup_s=self._warmup_s,
+            models=models,
+            model_swaps=sum(metrics.model_swaps for metrics in per_replica),
+            model_swap_s=sum(metrics.model_swap_s for metrics in per_replica),
+            slo_by_model_class=slo_by_model_class,
             per_replica=per_replica,
             per_request=tuple(pooled),
         )

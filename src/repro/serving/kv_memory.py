@@ -113,7 +113,10 @@ def backend_memory_capacity_bytes(cost_model: CostModel) -> "int | None":
 
 
 def kv_budget_bytes(
-    cost_model: CostModel, model: ModelConfig, fraction: float = 1.0
+    cost_model: CostModel,
+    model: ModelConfig,
+    fraction: float = 1.0,
+    models=None,
 ) -> int:
     """Bytes of the backend's memory available to the KV page pool.
 
@@ -121,18 +124,26 @@ def kv_budget_bytes(
     beyond the model weights.  ``fraction`` sweeps memory pressure: 1.0
     grants the whole remainder, smaller values model co-tenancy or smaller
     memory parts without touching the latency model.
+
+    ``models`` (a co-hosted model set containing ``model``) sizes the pool
+    once, conservatively, for the **largest** member: the replica holds one
+    resident model at a time, but the pool must never shrink mid-run when
+    a weight swap brings in a bigger model.
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError("fraction must be in (0, 1]")
+    heaviest = model
+    if models:
+        heaviest = max(models, key=lambda member: member.param_bytes)
     capacity = backend_memory_capacity_bytes(cost_model)
     if capacity is None:
         free = DEFAULT_KV_BUDGET_BYTES
     else:
-        free = capacity - model.param_bytes
+        free = capacity - heaviest.param_bytes
         if free <= 0:
             raise ValueError(
-                f"{model.name} weights ({model.param_bytes / GiB:.2f} GiB) do "
-                f"not fit the {cost_model.name} memory system "
+                f"{heaviest.name} weights ({heaviest.param_bytes / GiB:.2f} "
+                f"GiB) do not fit the {cost_model.name} memory system "
                 f"({capacity / GiB:.2f} GiB); no room for any KV cache"
             )
     return int(free * fraction)
@@ -199,14 +210,27 @@ class KvPageAccountant:
         fraction: float = 1.0,
         page_tokens: int = DEFAULT_PAGE_TOKENS,
         budget_bytes: "int | None" = None,
+        models=None,
     ) -> "KvPageAccountant":
-        """Accountant sized from a backend's memory system (or an override)."""
+        """Accountant sized from a backend's memory system (or an override).
+
+        With a co-hosted ``models`` set, the pool is sized once for the
+        worst case over the set — the largest weight footprint shrinks the
+        budget and the largest per-token KV bytes set the page geometry —
+        so pages stay comparable across weight swaps and the pool never
+        resizes mid-run.
+        """
         budget = (
             budget_bytes
             if budget_bytes is not None
-            else kv_budget_bytes(cost_model, model, fraction)
+            else kv_budget_bytes(cost_model, model, fraction, models=models)
         )
         token_bytes = model.num_blocks * model.kv_bytes_per_token_per_block
+        if models:
+            token_bytes = max(
+                member.num_blocks * member.kv_bytes_per_token_per_block
+                for member in models
+            )
         return cls(
             budget_bytes=budget, token_bytes=token_bytes, page_tokens=page_tokens
         )

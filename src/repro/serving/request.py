@@ -49,6 +49,10 @@ class Request:
     prefix_id: int = -1
     #: Length of the shared prefix in tokens (part of ``input_tokens``).
     prefix_tokens: int = 0
+    #: Model the request targets, by name ("" = the simulator's default
+    #: model).  Replicas co-hosting a model set pay a weight swap when
+    #: the active model changes (:mod:`repro.serving.simulator`).
+    model: str = ""
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -98,6 +102,8 @@ class RequestMetrics:
     priority_class: int = 0
     #: Latency SLO target assigned by the simulator; 0 means no target.
     slo_s: float = 0.0
+    #: Model the request was served by ("" = the simulator's default).
+    model: str = ""
 
     # ------------------------------------------------------------------
     @property
@@ -125,8 +131,13 @@ class RequestMetrics:
         return self.latency_s <= self.slo_s
 
     def to_dict(self) -> dict:
-        """JSON-stable representation (used by reports and determinism tests)."""
-        return {
+        """JSON-stable representation (used by reports and determinism tests).
+
+        The ``model`` key appears only for requests that named a model, so
+        single-model traces keep their pre-multi-model representation byte
+        for byte.
+        """
+        document = {
             "request_id": self.request_id,
             "arrival_s": self.arrival_s,
             "first_token_s": self.first_token_s,
@@ -140,3 +151,6 @@ class RequestMetrics:
             "latency_s": self.latency_s,
             "tpot_s": self.tpot_s,
         }
+        if self.model:
+            document["model"] = self.model
+        return document

@@ -145,6 +145,7 @@ from typing import Iterable, Sequence
 
 from repro.core.costmodel import CostModel, PassCost, diff_pass_cost, lerp_pass_cost
 from repro.energy.model import EnergyBreakdown
+from repro.models.flops import model_weight_bytes
 from repro.models.transformer import ModelConfig
 from repro.models.workload import Stage, StagePass
 from repro.serving.kv_memory import DEFAULT_PAGE_TOKENS, KvPageAccountant
@@ -511,6 +512,20 @@ class ServingPolicy:
     def admit_index(self, waiting: "Sequence[Request]") -> int:
         return 0
 
+    def admit_filter(
+        self, waiting: "Sequence[Request]", active: "Sequence[_InFlight]"
+    ) -> "list[int] | None":
+        """Indices of ``waiting`` that are admissible *right now*, or
+        ``None`` to leave admission ungated (the default).
+
+        Called after the concurrency gate with the current active set;
+        returning ``[]`` stops admission for this pass boundary.
+        Implementations must keep admission live: when ``active`` is
+        empty the filter must not be empty while work waits, or the
+        device would idle forever.
+        """
+        return None
+
     def prefill_index(self, prefilling: "Sequence[_InFlight]") -> int:
         return 0
 
@@ -588,14 +603,82 @@ class PriorityPolicy(_BatchedPolicy):
     the decode batch serve the lowest class first.  Pair with the
     simulator's per-class ``slo_targets`` to measure SLO attainment — under
     overload, class 0 keeps its attainment at the expense of class 1.
+
+    ``class_shares`` adds per-class *admission reservations* for tenant
+    isolation: class ``i`` is guaranteed ``floor(class_shares[i] *
+    max_batch)`` concurrency slots.  A candidate of class ``c`` is admitted
+    while class ``c`` is under its reservation, or while enough headroom
+    remains that admitting it cannot eat into another waiting class's
+    unfilled reservation.  With shares, an overloaded low-priority tenant
+    can no longer starve class 0 of admission slots *and* a burst of
+    class-0 work cannot squeeze a reserved lower class out entirely.
+    Classes beyond ``len(class_shares)`` hold no reservation.  Without
+    ``class_shares`` (default) admission is the legacy strict-priority
+    order, bit for bit.
     """
 
     name = "priority"
+
+    def __init__(
+        self, max_batch: int = 8, class_shares: "Sequence[float] | None" = None
+    ) -> None:
+        super().__init__(max_batch)
+        self.class_shares: "tuple[float, ...] | None" = None
+        self._reservations: "tuple[int, ...] | None" = None
+        if class_shares is not None:
+            shares = tuple(float(share) for share in class_shares)
+            if not shares:
+                raise ValueError("class_shares must name at least one class")
+            if any(
+                not 0.0 <= share <= 1.0 or share != share for share in shares
+            ):
+                raise ValueError("class_shares must be fractions in [0, 1]")
+            if sum(shares) > 1.0 + 1e-9:
+                raise ValueError(
+                    f"class_shares sum to {sum(shares):g}; reservations "
+                    "cannot exceed the whole batch (sum must be <= 1)"
+                )
+            self.class_shares = shares
+            self._reservations = tuple(
+                int(share * self.max_batch) for share in shares
+            )
 
     def admit_index(self, waiting):
         return min(
             range(len(waiting)), key=lambda i: (waiting[i].priority_class, i)
         )
+
+    def admit_filter(self, waiting, active):
+        if self._reservations is None:
+            return None
+        reserved = self._reservations
+        active_by_class: "dict[int, int]" = {}
+        for flight in active:
+            cls = flight.request.priority_class
+            active_by_class[cls] = active_by_class.get(cls, 0) + 1
+        waiting_classes = {request.priority_class for request in waiting}
+        total = len(active)
+        allowed: "list[int]" = []
+        for index, request in enumerate(waiting):
+            cls = request.priority_class
+            quota = reserved[cls] if cls < len(reserved) else 0
+            if active_by_class.get(cls, 0) < quota:
+                allowed.append(index)
+                continue
+            # Slots other waiting classes still have reserved but unfilled:
+            # admitting past them could eat a guaranteed slot.
+            pending = sum(
+                max(
+                    0,
+                    (reserved[other] if other < len(reserved) else 0)
+                    - active_by_class.get(other, 0),
+                )
+                for other in waiting_classes
+                if other != cls
+            )
+            if total + pending < self.max_batch:
+                allowed.append(index)
+        return allowed
 
     def prefill_index(self, prefilling):
         return min(
@@ -716,6 +799,16 @@ class ServingMetrics:
     kv_budget_bytes: int = 0
     slo_attainment: "float | None" = None
     slo_by_class: dict = field(default_factory=dict)
+    #: Names of the co-hosted model set; empty for single-model runs (the
+    #: pre-multi-model representation is preserved byte for byte).
+    models: tuple = ()
+    #: Weight swaps paid when the active model changed mid-run.
+    model_swaps: int = 0
+    #: Simulated seconds spent streaming model weights over the host link.
+    model_swap_s: float = 0.0
+    #: Per-(model, class) SLO attainment, keyed ``"model/class"`` —
+    #: populated only for multi-model runs with SLO targets.
+    slo_by_model_class: dict = field(default_factory=dict)
     per_request: tuple[RequestMetrics, ...] = field(default_factory=tuple)
 
     def to_dict(self, include_requests: bool = True) -> dict:
@@ -760,6 +853,13 @@ class ServingMetrics:
             "slo_attainment": self.slo_attainment,
             "slo_by_class": self.slo_by_class,
         }
+        if len(self.models) > 1:
+            # Multi-model keys appear only for real model sets, so a
+            # single-model run's dict matches the pre-multi-model layout.
+            data["models"] = list(self.models)
+            data["model_swaps"] = self.model_swaps
+            data["model_swap_s"] = self.model_swap_s
+            data["slo_by_model_class"] = self.slo_by_model_class
         if include_requests:
             data["per_request"] = [metrics.to_dict() for metrics in self.per_request]
         return data
@@ -808,6 +908,15 @@ class ServingMetrics:
                 if self.link_gbps > 0.0
                 else []
             ),
+            *(
+                [
+                    f"model set       : {', '.join(self.models)} "
+                    f"({self.model_swaps} weight swaps, "
+                    f"{self.model_swap_s:.3f} s streaming)"
+                ]
+                if len(self.models) > 1
+                else []
+            ),
             f"KV memory       : {self.kv_peak_pages}/{self.kv_pages_total} "
             f"pages peak ({self.kv_peak_fraction:.0%} of "
             f"{self.kv_budget_bytes / 2**30:.2f} GiB, "
@@ -854,7 +963,13 @@ class SimulationRun:
         self.kv = sim._new_accountant()
         self.events: "list[SimEvent] | None" = [] if record_events else None
         if kv_bounds is not None:
-            sim.provider.prepare(*kv_bounds)
+            for provider in sim.providers.values():
+                provider.prepare(*kv_bounds)
+        #: Model whose weights are resident on the device right now.
+        self.resident_model = sim.model.name
+        self._provider = sim.provider
+        self.model_swaps = 0
+        self.model_swap_s = 0.0
         self.pending: "deque[Request]" = deque()
         self.waiting: list[Request] = []
         self.active: list[_InFlight] = []
@@ -898,9 +1013,10 @@ class SimulationRun:
             raise ValueError("cannot offer a request to a finished run")
         if self.dead:
             raise ValueError("cannot offer a request to a failed replica")
-        if not self.sim.model.is_decoder and request.output_tokens > 1:
+        config = self.sim._config_for(request)
+        if not config.is_decoder and request.output_tokens > 1:
             raise ValueError(
-                f"{self.sim.model.name} is not a decoder; serving traces for it "
+                f"{config.name} is not a decoder; serving traces for it "
                 "must be summarization-only (output_tokens == 1)"
             )
         if self.pending:
@@ -1026,6 +1142,7 @@ class SimulationRun:
         request_id: "int | None" = None,
         tokens: int = 0,
         decode_ids: tuple = (),
+        model: str = "",
     ) -> None:
         if self.events is not None:
             self.events.append(
@@ -1040,6 +1157,7 @@ class SimulationRun:
                     waiting=len(self.waiting),
                     kv_reserved_pages=self.kv.reserved_pages,
                     kv_total_pages=self.kv.total_pages,
+                    model=model,
                 )
             )
 
@@ -1100,7 +1218,14 @@ class SimulationRun:
         # shared prefix charge only their unique new pages.
         sim, kv = self.sim, self.kv
         while self.waiting and sim.policy.admit(len(self.active)):
-            index = sim.policy.admit_index(self.waiting)
+            allowed = sim.policy.admit_filter(self.waiting, self.active)
+            if allowed is None:
+                index = sim.policy.admit_index(self.waiting)
+            else:
+                if not allowed:
+                    break
+                subset = [self.waiting[i] for i in allowed]
+                index = allowed[sim.policy.admit_index(subset)]
             request = self.waiting[index]
             if not kv.fits_alone(request.total_tokens):
                 raise ValueError(
@@ -1131,11 +1256,58 @@ class SimulationRun:
                 self.peak_active = len(self.active)
             self._emit("admit", request_id=request.request_id, tokens=pages)
 
+    def _model_of(self, request: Request) -> str:
+        """The model a request runs on ("" in a request means the default)."""
+        return request.model or self.sim.model.name
+
+    def _sync_model(self) -> None:
+        """Swap weights when no resident-model work is runnable.
+
+        Sticky-resident scheduling: while *any* active request uses the
+        resident model the iteration is restricted to that model and no
+        swap is paid.  Only when the resident model has nothing runnable
+        does the replica stream in the weights of the policy's preferred
+        next request (prefill-first, mirroring :meth:`_step`'s structure).
+        """
+        sim = self.sim
+        resident = self.resident_model
+        if any(self._model_of(f.request) == resident for f in self.active):
+            return
+        prefilling = [f for f in self.active if not f.prefill_done]
+        if prefilling:
+            target = prefilling[sim.policy.prefill_index(prefilling)]
+        else:
+            decodable = [f for f in self.active if f.prefill_done]
+            batch = sim.policy.decode_batch(decodable)
+            target = batch[0] if batch else decodable[0]
+        self._swap_model(self._model_of(target.request))
+
+    def _swap_model(self, target: str) -> None:
+        """Stream ``target``'s weights in over the host link (weight swap)."""
+        sim = self.sim
+        moved = sim._weight_bytes[target]
+        latency = moved * 8.0 / (sim.link_gbps * 1e9)
+        self.clock += latency
+        self.busy += latency
+        self.resident_model = target
+        self._provider = sim.providers[target]
+        self.model_swaps += 1
+        self.model_swap_s += latency
+        self._emit("model_swap", latency=latency, tokens=moved, model=target)
+
     def _step(self) -> None:
         """One device iteration: a prefill chunk and/or a fused decode batch."""
         sim = self.sim
-        prefilling = [flight for flight in self.active if not flight.prefill_done]
-        decodable = [flight for flight in self.active if flight.prefill_done]
+        eligible = self.active
+        if sim.multi_model:
+            self._sync_model()
+            eligible = [
+                flight
+                for flight in self.active
+                if self._model_of(flight.request) == self.resident_model
+            ]
+        prefilling = [flight for flight in eligible if not flight.prefill_done]
+        decodable = [flight for flight in eligible if flight.prefill_done]
         flight: "_InFlight | None" = None
         carrier: "PassCost | None" = None
         chunk = 0
@@ -1148,7 +1320,7 @@ class SimulationRun:
                 if sim.chunk_tokens == 0
                 else min(sim.chunk_tokens, remaining)
             )
-            carrier = sim.provider.prefill_chunk(flight.prefilled, chunk)
+            carrier = self._provider.prefill_chunk(flight.prefilled, chunk)
             # A chunked iteration piggybacks one decode token per batch
             # member on the chunk's weight streaming (Sarathi-style);
             # monolithic prefills keep the pass pure.
@@ -1174,9 +1346,11 @@ class SimulationRun:
                     "the KV budget)"
                 )
 
-        costs = [sim.provider.decode(f.next_kv_length) for f in batch]
+        costs = [self._provider.decode(f.next_kv_length) for f in batch]
         self._step_kind = "prefill" if carrier is not None else "decode"
-        latency, pass_energy, pass_flops = sim._fused_iteration(carrier, costs)
+        latency, pass_energy, pass_flops = sim._fused_iteration(
+            carrier, costs, self._provider
+        )
         self.clock += latency
         self.busy += latency
         self.energy = self.energy + pass_energy
@@ -1521,6 +1695,22 @@ class ServingSimulator:
         object per request costs more than the whole simulation.  Pooled
         aggregates are unaffected.  The cluster layer requires detail
         (it re-pools per-request rows across replicas).
+    models:
+        Optional *co-hosted model set*: every member's weights live in
+        device memory budget terms (the KV pool is sized against the
+        heaviest member) but only one model is *resident* (active) at a
+        time.  Requests name their model (``Request.model``; "" = the
+        default ``model``, which must be a member).  When an iteration has
+        no runnable work for the resident model the replica pays a *weight
+        swap* — the target's whole parameter footprint streamed over the
+        ``link_gbps`` host link, advancing the clock and logged as a
+        ``model_swap`` event.  A single-member set (or ``None``) keeps
+        every legacy code path bit for bit.
+    num_classes:
+        Optional declared priority-class count.  When given alongside
+        ``slo_targets``, the target list must hold exactly one shared
+        target or one per class — catching the silent clamp where class
+        ``i >= len(slo_targets)`` inherited the last target.
     """
 
     def __init__(
@@ -1544,6 +1734,8 @@ class ServingSimulator:
         engine: str = "object",
         profile: bool = False,
         per_request_detail: bool = True,
+        models: "Sequence[ModelConfig] | None" = None,
+        num_classes: "int | None" = None,
     ) -> None:
         if not 0.0 <= batch_share <= 1.0:
             raise ValueError("batch_share must be in [0, 1]")
@@ -1570,8 +1762,38 @@ class ServingSimulator:
             slo_targets = tuple(float(target) for target in slo_targets)
             if not slo_targets or any(target <= 0 for target in slo_targets):
                 raise ValueError("slo_targets must be positive latencies")
+        if num_classes is not None:
+            if num_classes < 1:
+                raise ValueError("num_classes must be at least 1")
+            if slo_targets is not None and len(slo_targets) not in (1, num_classes):
+                raise ValueError(
+                    f"slo_targets has {len(slo_targets)} target(s) for "
+                    f"{num_classes} priority class(es); give one shared "
+                    "target or one per class"
+                )
+        self.num_classes = num_classes
+        model_set = (model,) if models is None else tuple(models)
+        if models is not None:
+            if not model_set:
+                raise ValueError("models must be a non-empty model set")
+            names = [member.name for member in model_set]
+            if len(set(names)) != len(names):
+                dupes = sorted({n for n in names if names.count(n) > 1})
+                raise ValueError(
+                    f"models contains duplicate name(s): {', '.join(dupes)}"
+                )
+            if model.name not in set(names):
+                raise ValueError(
+                    f"the default model {model.name!r} must be a member of "
+                    f"the co-hosted model set ({', '.join(names)})"
+                )
         self.cost_model = cost_model
         self.model = model
+        self.models = model_set
+        self._model_by_name = {member.name: member for member in model_set}
+        #: True when this simulator co-hosts more than one model — the
+        #: single-model configuration keeps every legacy code path.
+        self.multi_model = len(model_set) > 1
         if isinstance(policy, str):
             cls = POLICIES.get(policy)
             kwargs = (
@@ -1606,6 +1828,17 @@ class ServingSimulator:
         self.provider = PassCostProvider(
             cost_model, model, exact=exact, kv_samples=kv_samples
         )
+        #: Per-model pass-cost providers (the default model reuses
+        #: ``self.provider`` so single-model costing is untouched).
+        self.providers = {model.name: self.provider}
+        for member in model_set:
+            if member.name not in self.providers:
+                self.providers[member.name] = PassCostProvider(
+                    cost_model, member, exact=exact, kv_samples=kv_samples
+                )
+        self._weight_bytes = {
+            member.name: model_weight_bytes(member) for member in model_set
+        }
         # Validate the KV pool configuration eagerly (budget, page size).
         self._new_accountant()
         #: Event log of the last ``simulate(record_events=True)`` run.
@@ -1621,7 +1854,22 @@ class ServingSimulator:
             fraction=self.kv_fraction,
             page_tokens=self.page_tokens,
             budget_bytes=self.kv_budget,
+            models=self.models if self.multi_model else None,
         )
+
+    def _config_for(self, request: Request) -> ModelConfig:
+        """The :class:`ModelConfig` a request targets ("" = the default)."""
+        name = request.model
+        if not name or name == self.model.name:
+            return self.model
+        config = self._model_by_name.get(name)
+        if config is None:
+            known = ", ".join(sorted(self._model_by_name))
+            raise ValueError(
+                f"request {request.request_id} targets unknown model "
+                f"{name!r}; this simulator hosts: {known}"
+            )
+        return config
 
     # ------------------------------------------------------------------
     def begin(
@@ -1704,6 +1952,7 @@ class ServingSimulator:
             output_tokens=request.output_tokens,
             priority_class=request.priority_class,
             slo_s=slo_s,
+            model=request.model,
         )
 
     def _fused_decode(
@@ -1713,7 +1962,10 @@ class ServingSimulator:
         return self._fused_iteration(None, costs)
 
     def _fused_iteration(
-        self, carrier: "PassCost | None", costs: "list[PassCost]"
+        self,
+        carrier: "PassCost | None",
+        costs: "list[PassCost]",
+        provider: "PassCostProvider | None" = None,
     ) -> "tuple[float, EnergyBreakdown, float]":
         """One device iteration: an optional prefill chunk fused with decodes.
 
@@ -1721,14 +1973,16 @@ class ServingSimulator:
         the other ``B - 1`` ride along; with a carrier (a prefill chunk,
         which streams every FC weight anyway) all ``B`` decode floors are
         shareable.  Latency is floored at the slowest member — a fused pass
-        cannot beat its largest constituent.
+        cannot beat its largest constituent.  ``provider`` selects whose
+        decode floor is shared (multi-model runs pass the resident model's
+        provider; the default is the simulator's own).
         """
         if carrier is None and len(costs) == 1:
             only = costs[0]
             return only.latency_s, only.energy, only.flops
         if carrier is not None and not costs:
             return carrier.latency_s, carrier.energy, carrier.flops
-        base = self.provider.base()
+        base = (self.provider if provider is None else provider).base()
         if carrier is None:
             parts = costs
             shared = self.batch_share * (len(costs) - 1)
@@ -1777,6 +2031,7 @@ class ServingSimulator:
         mean = lambda values: sum(values) / len(values) if values else 0.0  # noqa: E731
         slo_attainment: "float | None" = None
         slo_by_class: dict[str, float] = {}
+        slo_by_model_class: dict[str, float] = {}
         if self.slo_targets is not None:
             scored = [metrics for metrics in completed if metrics.slo_s > 0.0]
             if scored:
@@ -1792,6 +2047,25 @@ class ServingSimulator:
                     )
                     for cls in classes
                 }
+                if self.multi_model:
+                    default = self.model.name
+                    pairs = sorted(
+                        {
+                            (m.model or default, m.priority_class)
+                            for m in scored
+                        }
+                    )
+                    slo_by_model_class = {
+                        f"{name}/{cls}": mean(
+                            [
+                                1.0 if m.slo_met else 0.0
+                                for m in scored
+                                if (m.model or default) == name
+                                and m.priority_class == cls
+                            ]
+                        )
+                        for name, cls in pairs
+                    }
             else:
                 slo_attainment = 1.0
         return ServingMetrics(
@@ -1833,5 +2107,13 @@ class ServingSimulator:
             kv_budget_bytes=kv.budget_bytes,
             slo_attainment=slo_attainment,
             slo_by_class=slo_by_class,
+            models=(
+                tuple(member.name for member in self.models)
+                if self.multi_model
+                else ()
+            ),
+            model_swaps=run.model_swaps,
+            model_swap_s=run.model_swap_s,
+            slo_by_model_class=slo_by_model_class,
             per_request=tuple(completed) if self.per_request_detail else (),
         )

@@ -106,6 +106,12 @@ class SimEvent:
         The replica is dead until a ``recover`` event.
     ``recover``
         A failed replica came back, empty.
+    ``model_swap``
+        The replica swapped its *active model*: the weights of ``model``
+        were streamed in over the host link (``tokens`` is the byte count
+        moved, ``latency_s`` the transfer time — it advances the clock).
+        Only emitted by multi-model replicas; until the next
+        ``model_swap`` every prefill/decode must belong to ``model``.
     ``scale``
         An autoscaling decision: ``tokens`` is +1 (this replica was
         spawned — must be its log's first event) or -1 (this replica was
@@ -125,6 +131,9 @@ class SimEvent:
     waiting: int = 0
     kv_reserved_pages: int = 0
     kv_total_pages: int = 0
+    #: Target model of a ``model_swap`` event; "" on every other kind (so
+    #: single-model event logs keep their pre-multi-model shape).
+    model: str = ""
 
 
 def _close(a: float, b: float) -> bool:
@@ -252,6 +261,7 @@ def _replay(
     events: Sequence[SimEvent],
     by_id: "dict[int, Request]",
     ledger: "_Ledger | None",
+    default_model: "str | None" = None,
 ) -> "tuple[list[str], dict]":
     """Replay one event log; returns (violations, end-of-log accounting).
 
@@ -259,8 +269,25 @@ def _replay(
     requests still in flight, the per-request admit/preempt/failure-drop
     counts, the completed set, and whether the log opened with a scale-up
     marker.
+
+    ``default_model`` (the simulator's default model name) enables the
+    *resident-model* replay for multi-model logs: every prefill/decode
+    must belong to the model most recently swapped in, and a
+    ``model_swap`` to the already-resident model is a violation (a forged
+    insertion; a deleted swap is caught by the step-model mismatch).  The
+    replay also auto-enables when the log contains any ``model_swap``
+    event, so forged swaps in a single-model log are caught too.
     """
     violations: list[str] = []
+    track_models = default_model is not None or any(
+        event.kind == "model_swap" for event in events
+    )
+    resident = default_model or ""
+
+    def _model_of(request: "Request | None") -> str:
+        if request is None:
+            return resident
+        return request.model or default_model or ""
     in_flight: set[int] = set()
     #: In-flight requests whose private pages sit in host DRAM; they keep
     #: their episode progress but must not run until swapped back in.
@@ -389,6 +416,18 @@ def _replay(
                     f"{where}: request {event.request_id} prefilled and "
                     "decoded in the same step"
                 )
+            if track_models:
+                ran = (
+                    () if event.request_id is None else (event.request_id,)
+                ) + tuple(event.decode_ids)
+                for rid in ran:
+                    request = by_id.get(rid)
+                    model = _model_of(request)
+                    if request is not None and model != resident:
+                        violations.append(
+                            f"{where}: request {rid} targets model "
+                            f"{model!r} but {resident!r} was resident"
+                        )
         elif event.kind == "preempt":
             if not _close(event.clock_s, prev_clock):
                 violations.append(f"{where}: preemption consumed device time")
@@ -504,6 +543,28 @@ def _replay(
                         )
                 if ledger is not None:
                     ledger.release(event.request_id)
+        elif event.kind == "model_swap":
+            if event.latency_s < 0.0:
+                violations.append(f"{where}: model swap with negative latency")
+            start = event.clock_s - event.latency_s
+            if prev_active > 0 and not _close(start, prev_clock):
+                violations.append(
+                    f"{where}: idle gap of {start - prev_clock:.9f}s while "
+                    f"{prev_active} request(s) were in flight"
+                )
+            if event.tokens <= 0:
+                violations.append(
+                    f"{where}: model swap streamed {event.tokens} weight byte(s)"
+                )
+            if not event.model:
+                violations.append(f"{where}: model swap names no model")
+            elif event.model == resident:
+                violations.append(
+                    f"{where}: model swap to the already-resident model "
+                    f"{event.model!r} (a swap must change the active model)"
+                )
+            else:
+                resident = event.model
         elif event.kind == "fail":
             dropped = set(event.decode_ids)
             if dropped != in_flight:
@@ -585,6 +646,7 @@ def check_invariants(
     requests: Sequence[Request],
     page_tokens: "int | None" = None,
     admission: "str | None" = None,
+    default_model: "str | None" = None,
 ) -> list[str]:
     """Check the scheduler's invariants; returns violations (empty = sound).
 
@@ -592,6 +654,10 @@ def check_invariants(
     the exact page-ledger replay — pass the simulator's ``page_tokens`` and
     ``admission`` so every reported reservation is re-derived from the
     trace and compared against the log.
+
+    ``default_model`` (the simulator's default model name) enables the
+    resident-model replay of multi-model logs; it also auto-enables when
+    the log contains a ``model_swap`` event (see :func:`_replay`).
     """
     if (page_tokens is None) != (admission is None):
         raise ValueError("pass page_tokens and admission together (or neither)")
@@ -603,7 +669,9 @@ def check_invariants(
     if len(by_id) != len(requests):
         violations.append("trace contains duplicate request ids")
 
-    replay_violations, stats = _replay(events, by_id, ledger)
+    replay_violations, stats = _replay(
+        events, by_id, ledger, default_model=default_model
+    )
     violations.extend(replay_violations)
     completed = stats["completed"]
 
@@ -637,6 +705,7 @@ def check_cluster_invariants(
     page_tokens: "int | None" = None,
     admission: "str | None" = None,
     initial_replicas: "int | None" = None,
+    default_model: "str | None" = None,
 ) -> list[str]:
     """Check a cluster run with failures/failover/autoscaling; empty = sound.
 
@@ -673,7 +742,9 @@ def check_cluster_invariants(
         ledger: "_Ledger | None" = None
         if page_tokens is not None and admission is not None:
             ledger = _Ledger(page_tokens, admission)
-        replay_violations, stats = _replay(events, by_id, ledger)
+        replay_violations, stats = _replay(
+            events, by_id, ledger, default_model=default_model
+        )
         violations.extend(
             f"replica {replica}: {violation}" for violation in replay_violations
         )

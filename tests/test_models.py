@@ -128,9 +128,11 @@ class TestModelRegistry:
         with pytest.raises(KeyError):
             get_model("nonexistent-model")
 
-    def test_registry_has_all_eleven_models(self):
-        # 4 GPT-2 + 4 BERT + 3 larger GPT configurations (Tables 3 and 4).
-        assert len(ALL_MODELS) == 11
+    def test_registry_has_all_models(self):
+        # 4 GPT-2 + 4 BERT + 3 larger GPT configurations (Tables 3 and 4)
+        # plus the 2 GQA/gated-MLP Gemma configurations of the co-hosted
+        # model-set experiments.
+        assert len(ALL_MODELS) == 13
 
 
 class TestWorkload:

@@ -20,8 +20,8 @@ from repro.perf import run_many, write_report
 #: Every experiment ported to the sweep abstraction (PR 2 + PR 3).
 PORTED = (
     "fig08", "fig09", "fig11", "fig13", "fig14", "fig15", "fig17", "fig18",
-    "serving", "cluster", "chaos", "kv-hierarchy", "ablation-overlap",
-    "ablation-address-mapping", "ablation-fast-mode",
+    "serving", "cluster", "chaos", "kv-hierarchy", "multi-tenant",
+    "ablation-overlap", "ablation-address-mapping", "ablation-fast-mode",
 )
 
 
